@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the communication layer: tree vs ring
+//! all-reduce across thread counts at the HEP model's 2.3 MiB payload,
+//! and the PS bank's update throughput (single PS vs per-layer sharding).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scidl_comm::ps::UpdateFn;
+use scidl_comm::{ring_allreduce_mean, CommWorld, PsBank, RingFabric};
+use std::thread;
+
+fn bench_tree_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_allreduce");
+    group.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        // HEP model size in f32 elements.
+        let len = 594_178;
+        group.throughput(Throughput::Bytes((len * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |bench, &n| {
+            bench.iter(|| {
+                let comms = CommWorld::new(n);
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|comm| {
+                        thread::spawn(move || {
+                            let mut data = vec![1.0f32; len];
+                            comm.allreduce_mean(&mut data);
+                            data[0]
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<f32>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_allreduce");
+    group.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        let len = 594_178;
+        group.throughput(Throughput::Bytes((len * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |bench, &n| {
+            bench.iter(|| {
+                let endpoints = RingFabric::new(n).into_endpoints();
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, (tx, rx))| {
+                        thread::spawn(move || {
+                            let mut data = vec![1.0f32; len];
+                            ring_allreduce_mean(rank, n, &mut data, &tx, &rx);
+                            data[0]
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<f32>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ps_bank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_bank_update");
+    group.sample_size(10);
+    // 12 blocks ≈ the HEP network's parameter blocks (Fig. 4 sharding).
+    for &blocks in &[1usize, 12] {
+        let total = 594_178usize;
+        let per = total / blocks;
+        group.throughput(Throughput::Bytes((total * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |bench, &nb| {
+            let bank = PsBank::spawn(
+                (0..nb)
+                    .map(|_| {
+                        let u: UpdateFn = Box::new(move |p: &mut [f32], g: &[f32]| {
+                            for (pi, gi) in p.iter_mut().zip(g) {
+                                *pi -= 0.01 * gi;
+                            }
+                        });
+                        (vec![0.0f32; per], u)
+                    })
+                    .collect(),
+            );
+            bench.iter(|| {
+                let grads: Vec<Vec<f32>> = (0..nb).map(|_| vec![1.0f32; per]).collect();
+                let replies = bank.update_all(grads);
+                replies[0].version
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_allreduce, bench_ring_allreduce, bench_ps_bank);
+criterion_main!(benches);

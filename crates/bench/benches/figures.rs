@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the figure-generation machinery itself: how
+//! fast the discrete-event cluster simulator executes the paper-scale
+//! configurations. (The *results* of the figures come from the dedicated
+//! binaries; these benches keep the simulator's own cost visible.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scidl_cluster::sim::{ClusterSim, SimConfig};
+use scidl_core::workloads::{climate_workload, hep_workload};
+
+fn bench_cluster_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    for &(nodes, groups) in &[(256usize, 1usize), (1024, 4), (9594, 9)] {
+        let w = hep_workload();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("hep_{nodes}n_{groups}g")),
+            &0,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut cfg = SimConfig::new(w.clone(), nodes, groups, 1024);
+                    cfg.iterations = 10;
+                    ClusterSim::new(cfg).run().total_flops
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workload_builders(c: &mut Criterion) {
+    // Building the climate workload walks the full 80M-parameter network —
+    // seconds per call, so keep the sample count low.
+    let mut group = c.benchmark_group("workload_builders");
+    group.sample_size(10);
+    group.bench_function("build_climate_workload", |b| {
+        b.iter(|| climate_workload().params)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_sim, bench_workload_builders);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of the dense-linear-algebra kernels that
+//! dominate training time — the Rust analogue of the MKL primitives the
+//! paper's single-node numbers (Fig. 5) depend on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scidl_nn::{Conv2d, Deconv2d, Layer};
+use scidl_tensor::{gemm, im2col, ConvGeometry, Shape4, TensorRng, Transpose};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    // Tall-skinny shapes typical of im2col-lowered convolutions.
+    for &(m, n, k) in &[(128usize, 196usize, 1152usize), (128, 784, 1152), (64, 3136, 576)] {
+        let mut rng = TensorRng::new(1);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let mut out = vec![0.0f32; m * n];
+        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bench, _| {
+                bench.iter(|| {
+                    gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut out);
+                    out[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    for &(ch, hw, k, s) in &[(3usize, 64usize, 3usize, 1usize), (16, 64, 5, 2), (128, 28, 3, 1)] {
+        let geo = ConvGeometry::new(ch, 1, hw, hw, k, s, k / 2);
+        let image: Vec<f32> = (0..ch * hw * hw).map(|i| i as f32 * 0.001).collect();
+        let mut col = vec![0.0f32; geo.col_rows() * geo.col_cols()];
+        group.throughput(Throughput::Elements(col.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("c{ch}_hw{hw}_k{k}_s{s}")),
+            &geo,
+            |bench, geo| {
+                bench.iter(|| {
+                    im2col(geo, &image, &mut col);
+                    col[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_conv_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_fwd_bwd");
+    group.sample_size(10);
+    // A HEP-style layer (3->128, 3x3) and a climate-style strided layer
+    // (16->64, 5x5/s2), at reduced spatial size to keep bench time sane.
+    for &(cin, cout, hw, k, s) in &[(3usize, 128usize, 64usize, 3usize, 1usize), (16, 64, 64, 5, 2)] {
+        let mut rng = TensorRng::new(2);
+        let mut conv = Conv2d::new("c", cin, cout, k, s, k / 2, &mut rng);
+        let x = rng.uniform_tensor(Shape4::new(8, cin, hw, hw), -1.0, 1.0);
+        let flops = 8 * conv.forward_flops_per_image(x.shape().with_n(1));
+        group.throughput(Throughput::Elements(flops));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("conv{cin}to{cout}_k{k}s{s}")),
+            &0,
+            |bench, _| {
+                bench.iter(|| {
+                    let y = conv.forward(&x);
+                    let g = conv.backward(&y);
+                    g.data()[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_winograd_vs_direct(c: &mut Criterion) {
+    use scidl_nn::winograd::winograd_conv3x3;
+    let mut group = c.benchmark_group("conv3x3_algorithms");
+    group.sample_size(10);
+    let mut rng = TensorRng::new(5);
+    let mut conv = Conv2d::new("c", 16, 32, 3, 1, 1, &mut rng);
+    let x = rng.uniform_tensor(Shape4::new(4, 16, 32, 32), -1.0, 1.0);
+    let weight = conv.params()[0].value.clone();
+    let bias: Vec<f32> = conv.params()[1].value.data().to_vec();
+    group.bench_function("im2col_gemm", |b| {
+        b.iter(|| {
+            let y = conv.forward(&x);
+            y.data()[0]
+        })
+    });
+    group.bench_function("winograd_f2x2", |b| {
+        b.iter(|| {
+            let y = winograd_conv3x3(&x, &weight, &bias);
+            y.data()[0]
+        })
+    });
+    group.bench_function("fft_conv", |b| {
+        use scidl_nn::fftconv::fft_conv;
+        b.iter(|| {
+            let y = fft_conv(&x, &weight, &bias, 1);
+            y.data()[0]
+        })
+    });
+    group.finish();
+}
+
+fn bench_deconv_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deconv_fwd");
+    group.sample_size(10);
+    let mut rng = TensorRng::new(3);
+    let mut dec = Deconv2d::new("d", 64, 16, 4, 2, 1, &mut rng);
+    let x = rng.uniform_tensor(Shape4::new(8, 64, 24, 24), -1.0, 1.0);
+    group.bench_function("deconv64to16_k4s2", |bench| {
+        bench.iter(|| {
+            let y = dec.forward(&x);
+            y.data()[0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_im2col,
+    bench_conv_layers,
+    bench_winograd_vs_direct,
+    bench_deconv_layer
+);
+criterion_main!(benches);

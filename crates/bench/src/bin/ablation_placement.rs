@@ -1,0 +1,32 @@
+//! Ablation of **topology-aware placement** (Fig. 3): the ideal layout
+//! packs each compute group into whole electrical groups of the Aries
+//! dragonfly; a topology-oblivious scheduler scatters it across the
+//! machine, paying optical-hop latency and shared-global-link contention
+//! on every all-reduce.
+
+use scidl_bench::{fnum, markdown_table};
+use scidl_core::experiments::placement_ablation;
+
+fn main() {
+    println!("Placement ablation (Fig. 3): 1024-node compute group on a 9688-node dragonfly\n");
+    for (name, bytes) in [("HEP (2.3 MiB model)", 2_411_724u64), ("Climate (306 MiB model)", 321_120_352u64)] {
+        let rows = placement_ablation(1024, 9688, bytes, 0xF163);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.to_string(),
+                    r.groups_spanned.to_string(),
+                    format!("{} ms", fnum(r.allreduce_secs * 1e3, 3)),
+                ]
+            })
+            .collect();
+        println!("{name}:");
+        println!(
+            "{}",
+            markdown_table(&["placement", "electrical groups spanned", "all-reduce time"], &table)
+        );
+        let penalty = rows[1].allreduce_secs / rows[0].allreduce_secs;
+        println!("scattered-placement penalty: {}x\n", fnum(penalty, 2));
+    }
+}

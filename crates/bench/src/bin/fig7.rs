@@ -1,0 +1,59 @@
+//! Regenerates **Fig. 7** — weak scaling (batch 8 per node) of
+//! synchronous vs hybrid configurations.
+
+use scidl_bench::{fnum, markdown_table};
+use scidl_core::experiments::weak_scaling;
+use scidl_core::workloads::{climate_workload, hep_workload};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let (nodes, iters): (&[usize], usize) = if fast {
+        (&[1, 256, 2048], 8)
+    } else {
+        (&[1, 128, 256, 512, 1024, 2048], 15)
+    };
+
+    println!("Fig. 7a (HEP): weak scaling, batch 8/node\n");
+    let groups = [1usize, 2, 4, 8];
+    let rows = weak_scaling(&hep_workload(), nodes, &groups, 8, iters, 0xF167);
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for &n in nodes {
+        let mut row = vec![n.to_string()];
+        for &g in &groups {
+            row.push(
+                rows.iter()
+                    .find(|r| r.nodes == n && r.groups == g)
+                    .map(|r| fnum(r.speedup, 0))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        table.push(row);
+    }
+    println!(
+        "{}",
+        markdown_table(&["nodes", "sync", "hybrid-2", "hybrid-4", "hybrid-8"], &table)
+    );
+    println!("paper: sublinear for all; ~1500x sync / ~1150-1250x hybrid at 2048 (jitter on ~12 ms layers)\n");
+
+    println!("Fig. 7b (Climate): weak scaling, batch 8/node\n");
+    let cgroups = [1usize, 4, 8];
+    let rows = weak_scaling(&climate_workload(), nodes, &cgroups, 8, iters.min(8), 0xF167);
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for &n in nodes {
+        let mut row = vec![n.to_string()];
+        for &g in &cgroups {
+            row.push(
+                rows.iter()
+                    .find(|r| r.nodes == n && r.groups == g)
+                    .map(|r| fnum(r.speedup, 0))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        table.push(row);
+    }
+    println!(
+        "{}",
+        markdown_table(&["nodes", "sync", "hybrid-4", "hybrid-8"], &table)
+    );
+    println!("paper: near-linear (~1750x sync, ~1850x hybrid at 2048; >300 ms layers hide jitter)");
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Fig. 8** — training loss vs wall-clock for HEP on 1K
+//! (virtual) nodes: synchronous vs hybrid with 2/4/8 groups, fixed total
+//! batch.
+//!
+//! Gradients are real (scaled-down HEP problem); wall-clock is simulated
+//! Cori time. The paper's readout: best hybrid reaches the target loss
+//! ≈1.66× faster than the best sync run; the worst sync run is many
+//! times slower.
+
+use scidl_bench::{ascii_chart, fnum, markdown_table};
+use scidl_core::experiments::convergence::{fig8, Fig8Scale};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let scale = if fast {
+        Fig8Scale {
+            nodes: 256,
+            total_batch: 256,
+            sync_iterations: 48,
+            dataset_events: 1024,
+            smooth_window: 6,
+        }
+    } else {
+        Fig8Scale::default()
+    };
+
+    println!(
+        "Fig. 8: loss vs simulated wall-clock ({} virtual nodes, total batch {})\n",
+        scale.nodes, scale.total_batch
+    );
+    let result = fig8(&scale, 0xF168);
+
+    let rows: Vec<Vec<String>> = result
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.groups.to_string(),
+                fnum(r.staleness, 2),
+                r.curve
+                    .final_loss()
+                    .map(|l| fnum(l as f64, 4))
+                    .unwrap_or_default(),
+                r.time_to_target
+                    .map(|t| format!("{} s", fnum(t, 1)))
+                    .unwrap_or_else(|| "not reached".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["run", "groups", "staleness", "final loss", &format!("time to loss {}", fnum(result.target_loss as f64, 3))],
+            &rows
+        )
+    );
+
+    match result.best_hybrid_speedup {
+        Some(s) => println!("best hybrid vs best sync speedup: {}x (paper: ~1.66x)\n", fnum(s, 2)),
+        None => println!("best hybrid vs best sync speedup: n/a (target not reached)\n"),
+    }
+
+    let series: Vec<(&str, &[(f64, f32)])> = result
+        .runs
+        .iter()
+        .map(|r| (r.label.as_str(), r.curve.points.as_slice()))
+        .collect();
+    println!("{}", ascii_chart(&series, 100, 24));
+}

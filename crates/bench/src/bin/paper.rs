@@ -1,0 +1,125 @@
+//! One-command condensed reproduction: runs every experiment at reduced
+//! (`--fast`-equivalent) scale in-process and prints a summary table of
+//! paper-vs-measured values. For the full-scale versions run the
+//! individual binaries (see `scidl-bench`'s crate docs).
+
+use scidl_bench::{fnum, markdown_table};
+use scidl_cluster::KnlModel;
+use scidl_core::experiments::convergence::{fig8, Fig8Scale};
+use scidl_core::experiments::science::{hep_science, HepScienceScale};
+use scidl_core::experiments::{strong_scaling, weak_scaling};
+use scidl_core::workloads::{climate_workload, hep_workload};
+use scidl_nn::arch::{self, ClimateNet};
+use scidl_nn::network::Model;
+use scidl_tensor::TensorRng;
+
+fn main() {
+    println!("scidl condensed reproduction (reduced scale; see EXPERIMENTS.md for full runs)\n");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row = |exp: &str, paper: &str, ours: String| {
+        rows.push(vec![exp.to_string(), paper.to_string(), ours]);
+    };
+
+    // Table II.
+    let mut rng = TensorRng::new(1);
+    let hep_net = arch::hep_network(&mut rng);
+    row(
+        "Table II: HEP model size",
+        "2.3 MiB",
+        format!("{} MiB", fnum(hep_net.param_bytes() as f64 / (1024.0 * 1024.0), 2)),
+    );
+    let climate_net = ClimateNet::full(&mut rng);
+    row(
+        "Table II: climate model size",
+        "302.1 MiB",
+        format!("{} MiB", fnum(climate_net.param_bytes() as f64 / (1024.0 * 1024.0), 1)),
+    );
+    drop(climate_net);
+
+    // Fig. 5 headline rates.
+    let knl = KnlModel::default();
+    let wh = hep_workload();
+    let wc = climate_workload();
+    row(
+        "Fig. 5: HEP single-node rate",
+        "1.90 TF/s",
+        format!("{} TF/s", fnum(wh.single_node_rate(&knl, 8) / 1e12, 2)),
+    );
+    row(
+        "Fig. 5: climate single-node rate",
+        "2.09 TF/s",
+        format!("{} TF/s", fnum(wc.single_node_rate(&knl, 8) / 1e12, 2)),
+    );
+
+    // Fig. 6 condensed: sync saturation + hybrid-4 at 1024.
+    let f6 = strong_scaling(&wh, &[512, 1024], &[1, 4], 2048, 10, 0xF166);
+    let get = |n: usize, g: usize| f6.iter().find(|r| r.nodes == n && r.groups == g).unwrap().speedup;
+    row(
+        "Fig. 6a: HEP sync 512 -> 1024",
+        "stops scaling past 256",
+        format!("{} -> {}", fnum(get(512, 1), 0), fnum(get(1024, 1), 0)),
+    );
+    row(
+        "Fig. 6a: HEP hybrid-4 @1024",
+        "~580x",
+        format!("{}x", fnum(get(1024, 4), 0)),
+    );
+
+    // Fig. 7 condensed.
+    let f7h = weak_scaling(&wh, &[2048], &[1, 8], 8, 10, 0xF167);
+    let f7c = weak_scaling(&wc, &[2048], &[1, 8], 8, 6, 0xF167);
+    let pick = |rows: &[scidl_core::experiments::ScalingRow], g: usize| {
+        rows.iter().find(|r| r.groups == g).unwrap().speedup
+    };
+    row(
+        "Fig. 7a: HEP weak @2048 (sync/hyb8)",
+        "~1500 / ~1150",
+        format!("{} / {}", fnum(pick(&f7h, 1), 0), fnum(pick(&f7h, 8), 0)),
+    );
+    row(
+        "Fig. 7b: climate weak @2048 (sync/hyb8)",
+        "~1750 / ~1850",
+        format!("{} / {}", fnum(pick(&f7c, 1), 0), fnum(pick(&f7c, 8), 0)),
+    );
+
+    // Fig. 8 condensed.
+    let scale = Fig8Scale {
+        nodes: 256,
+        total_batch: 256,
+        sync_iterations: 48,
+        dataset_events: 1024,
+        smooth_window: 6,
+    };
+    let f8 = fig8(&scale, 0xF168);
+    row(
+        "Fig. 8: best hybrid vs best sync",
+        "~1.66x",
+        f8.best_hybrid_speedup
+            .map(|s| format!("{}x", fnum(s, 2)))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+
+    // Sec. VII-A condensed.
+    let hs = hep_science(
+        &HepScienceScale {
+            train_events: 1200,
+            test_events: 1200,
+            iterations: 150,
+            batch: 32,
+            fpr_budget: 0.02,
+        },
+        0x5C1,
+    );
+    row(
+        "Sec. VII-A: CNN vs cuts",
+        "1.7x (72% vs 42% TPR)",
+        format!(
+            "{}x ({}% vs {}%)",
+            fnum(hs.improvement, 2),
+            fnum(hs.cnn_tpr * 100.0, 1),
+            fnum(hs.baseline_tpr * 100.0, 1)
+        ),
+    );
+
+    println!("{}", markdown_table(&["experiment", "paper", "ours (fast scale)"], &rows));
+}

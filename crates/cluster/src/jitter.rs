@@ -1,0 +1,221 @@
+//! Run-to-run variability and failure injection.
+//!
+//! Sec. VIII-A: "at a scale of thousands of nodes, we found significant
+//! variability in runtimes across runs, which could be as high as 30%"
+//! and "the probability of one of the thousands of nodes failing or
+//! degrading during the run is non-zero". Sec. VI-B2 attributes HEP's
+//! sublinear weak scaling to jitter on ~12 ms layer times, while the
+//! climate network's ~300 ms layers are barely affected — so the
+//! straggler component must be an *absolute* delay (OS noise bursts,
+//! network hotspots are milliseconds regardless of the layer being run),
+//! on top of a small multiplicative lognormal spread. The PS exchange
+//! path crosses the interconnect twice and is "more affected by this
+//! variability" (Sec. VI-B2), modelled by per-request delay spikes.
+
+use scidl_tensor::TensorRng;
+
+/// Variability model parameters.
+#[derive(Clone, Debug)]
+pub struct JitterModel {
+    /// Sigma of the lognormal multiplicative compute jitter.
+    pub sigma: f64,
+    /// Probability that a node suffers a straggler event in an iteration.
+    pub straggler_prob: f64,
+    /// Mean of the exponential *absolute* straggler delay (seconds).
+    pub straggler_mean_delay: f64,
+    /// Probability that one PS request suffers a delay spike.
+    pub ps_straggler_prob: f64,
+    /// Mean of the exponential PS delay spike (seconds).
+    pub ps_straggler_mean_delay: f64,
+    /// Poisson node-failure rate per node-hour.
+    pub fail_rate_per_node_hour: f64,
+}
+
+impl Default for JitterModel {
+    fn default() -> Self {
+        Self {
+            sigma: 0.04,
+            straggler_prob: 0.0008,
+            straggler_mean_delay: 0.020,
+            ps_straggler_prob: 0.08,
+            ps_straggler_mean_delay: 0.025,
+            fail_rate_per_node_hour: 2.0e-4,
+        }
+    }
+}
+
+impl JitterModel {
+    /// No jitter, no stragglers, no failures (ideal machine).
+    pub fn none() -> Self {
+        Self {
+            sigma: 0.0,
+            straggler_prob: 0.0,
+            straggler_mean_delay: 0.0,
+            ps_straggler_prob: 0.0,
+            ps_straggler_mean_delay: 0.0,
+            fail_rate_per_node_hour: 0.0,
+        }
+    }
+
+    /// Multiplicative compute-time factor for one node-iteration
+    /// (lognormal with mean ≈ 1).
+    pub fn compute_multiplier(&self, rng: &mut TensorRng) -> f64 {
+        if self.sigma > 0.0 {
+            rng.lognormal(-0.5 * self.sigma * self.sigma, self.sigma)
+        } else {
+            1.0
+        }
+    }
+
+    /// The *maximum* lognormal multiplier over `nodes` draws — what a
+    /// synchronisation barrier pays (Sec. II-B1b).
+    pub fn barrier_multiplier(&self, rng: &mut TensorRng, nodes: usize) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let mut worst: f64 = 0.0;
+        for _ in 0..nodes.max(1) {
+            worst = worst.max(self.compute_multiplier(rng));
+        }
+        worst.max(1.0)
+    }
+
+    /// Maximum absolute straggler delay over `nodes` draws (seconds) —
+    /// added once to a barriered iteration. Milliseconds-scale, so it
+    /// dominates HEP's short iterations but not climate's long ones.
+    pub fn barrier_delay(&self, rng: &mut TensorRng, nodes: usize) -> f64 {
+        if self.straggler_prob <= 0.0 {
+            return 0.0;
+        }
+        // Number of stragglers among the nodes is Binomial(n, p); sample
+        // via Poisson approximation and take the max of that many
+        // exponential delays.
+        let lambda = self.straggler_prob * nodes as f64;
+        let k = rng.poisson(lambda);
+        let mut worst = 0.0f64;
+        for _ in 0..k {
+            let d = -self.straggler_mean_delay * rng.uniform().max(1e-18).ln();
+            worst = worst.max(d);
+        }
+        worst
+    }
+
+    /// Delay spike on one parameter-server request (seconds; usually 0).
+    pub fn ps_request_delay(&self, rng: &mut TensorRng) -> f64 {
+        if self.ps_straggler_prob > 0.0 && rng.bernoulli(self.ps_straggler_prob) {
+            -self.ps_straggler_mean_delay * rng.uniform().max(1e-18).ln()
+        } else {
+            0.0
+        }
+    }
+
+    /// Samples the first failure time (seconds) among `nodes` nodes over
+    /// a `horizon_secs` window, if any.
+    pub fn first_failure(&self, rng: &mut TensorRng, nodes: usize, horizon_secs: f64) -> Option<f64> {
+        if self.fail_rate_per_node_hour <= 0.0 || nodes == 0 {
+            return None;
+        }
+        let rate_per_sec = self.fail_rate_per_node_hour * nodes as f64 / 3600.0;
+        let t = -rng.uniform().max(1e-18).ln() / rate_per_sec;
+        (t < horizon_secs).then_some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_deterministic_unity() {
+        let m = JitterModel::none();
+        let mut rng = TensorRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(m.compute_multiplier(&mut rng), 1.0);
+        }
+        assert_eq!(m.barrier_multiplier(&mut rng, 1000), 1.0);
+        assert_eq!(m.barrier_delay(&mut rng, 1000), 0.0);
+        assert_eq!(m.ps_request_delay(&mut rng), 0.0);
+        assert!(m.first_failure(&mut rng, 10_000, 1e9).is_none());
+    }
+
+    #[test]
+    fn lognormal_jitter_has_unit_mean() {
+        let m = JitterModel::default();
+        let mut rng = TensorRng::new(2);
+        let n = 20_000;
+        let mean = (0..n).map(|_| m.compute_multiplier(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn barrier_multiplier_grows_with_node_count() {
+        let m = JitterModel::default();
+        let mut rng = TensorRng::new(3);
+        let avg = |nodes: usize, rng: &mut TensorRng| {
+            (0..60).map(|_| m.barrier_multiplier(rng, nodes)).sum::<f64>() / 60.0
+        };
+        let m8 = avg(8, &mut rng);
+        let m2048 = avg(2048, &mut rng);
+        assert!(
+            m2048 > m8 + 0.02,
+            "barrier penalty should grow with scale: {m8} → {m2048}"
+        );
+        // ~30% worst-case variability (Sec. VIII-A), not orders of
+        // magnitude.
+        assert!(m2048 < 1.45, "barrier multiplier too heavy: {m2048}");
+    }
+
+    #[test]
+    fn barrier_delay_is_absolute_and_scale_dependent() {
+        let m = JitterModel::default();
+        let mut rng = TensorRng::new(4);
+        let avg = |nodes: usize, rng: &mut TensorRng| {
+            (0..400).map(|_| m.barrier_delay(rng, nodes)).sum::<f64>() / 400.0
+        };
+        let d64 = avg(64, &mut rng);
+        let d2048 = avg(2048, &mut rng);
+        assert!(d2048 > d64, "{d64} vs {d2048}");
+        // Milliseconds at full scale: large next to HEP's ~12 ms layers,
+        // negligible next to climate's ~300 ms layers.
+        assert!((0.005..0.08).contains(&d2048), "delay {d2048}");
+    }
+
+    #[test]
+    fn ps_delays_are_occasional_spikes() {
+        let m = JitterModel::default();
+        let mut rng = TensorRng::new(5);
+        let n = 10_000;
+        let delays: Vec<f64> = (0..n).map(|_| m.ps_request_delay(&mut rng)).collect();
+        let nonzero = delays.iter().filter(|&&d| d > 0.0).count();
+        let frac = nonzero as f64 / n as f64;
+        assert!((frac - m.ps_straggler_prob).abs() < 0.02, "spike rate {frac}");
+        let mean_spike: f64 =
+            delays.iter().filter(|&&d| d > 0.0).sum::<f64>() / nonzero.max(1) as f64;
+        assert!((mean_spike - m.ps_straggler_mean_delay).abs() < 0.01);
+    }
+
+    #[test]
+    fn failures_scale_with_nodes_and_horizon() {
+        let m = JitterModel { fail_rate_per_node_hour: 0.01, ..JitterModel::default() };
+        let mut rng = TensorRng::new(5);
+        let p_small = (0..300)
+            .filter(|_| m.first_failure(&mut rng, 10, 3600.0).is_some())
+            .count();
+        let p_large = (0..300)
+            .filter(|_| m.first_failure(&mut rng, 10_000, 3600.0).is_some())
+            .count();
+        assert!(p_large > p_small, "{p_small} vs {p_large}");
+        assert!(p_large > 290);
+    }
+
+    #[test]
+    fn failure_times_within_horizon() {
+        let m = JitterModel { fail_rate_per_node_hour: 1.0, ..JitterModel::default() };
+        let mut rng = TensorRng::new(6);
+        for _ in 0..100 {
+            if let Some(t) = m.first_failure(&mut rng, 100, 50.0) {
+                assert!(t >= 0.0 && t < 50.0);
+            }
+        }
+    }
+}

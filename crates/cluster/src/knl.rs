@@ -1,0 +1,275 @@
+//! Performance model of one Cori Phase II node — an Intel Xeon Phi 7250
+//! (Knights Landing): 68 cores at 1.4 GHz (1.2 GHz sustained AVX), two
+//! 512-bit VPUs per core, 16 GiB MCDRAM at ~400+ GB/s (Sec. IV).
+//!
+//! The model follows the paper's empirical observations rather than a
+//! cycle-accurate simulation:
+//!
+//! * convolution kernels reach a channel-dependent fraction of peak —
+//!   ≈3.5 TF/s for many-channel layers, ≈1.25 TF/s for the few-channel
+//!   initial layers (Sec. VI-A / Fig. 5),
+//! * efficiency collapses at small minibatches, the DeepBench effect the
+//!   paper highlights (Sec. II-A): we use a saturating `b/(b+b_half)`
+//!   factor,
+//! * activation layers (ReLU, pooling) are memory-bandwidth bound,
+//! * the solver update is a slow, copy-dominated serial phase (12.5% of
+//!   HEP runtime at batch 8, Sec. VI-A),
+//! * per-layer framework dispatch overhead (IntelCaffe layer launch).
+
+/// How a layer's execution rate is modelled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RateClass {
+    /// GEMM-lowered convolution/deconvolution with `cin` input channels
+    /// (deconvs use the mirror conv's channel count).
+    Conv {
+        /// Input channels of the (mirror) convolution.
+        cin: usize,
+    },
+    /// Bandwidth-bound elementwise/pooling layer touching roughly
+    /// `bytes_per_image` of memory per image per pass.
+    MemoryBound {
+        /// Bytes moved per image (forward + backward combined).
+        bytes_per_image: u64,
+    },
+    /// Small dense layer (latency-dominated).
+    DenseSmall,
+}
+
+/// Cost description of one layer, produced from a real `scidl-nn` network
+/// by `scidl-core::workloads`.
+#[derive(Clone, Debug)]
+pub struct LayerCost {
+    /// Layer name (matches the nn layer).
+    pub name: String,
+    /// Training FLOPs (forward + backward) per image.
+    pub train_flops_per_image: u64,
+    /// Rate class for the time model.
+    pub class: RateClass,
+}
+
+/// MCDRAM configuration of the node (Sec. IV): the 16 GiB on-package
+/// memory can act as a cache on DDR4 (the mode the paper uses — "in this
+/// publication we only consider quad mode" with MCDRAM as cache) or be
+/// addressed directly as a flat NUMA node, which removes the cache-miss
+/// overheads for bandwidth-bound layers at the cost of manual placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum McdramMode {
+    /// MCDRAM as a 16 GiB L3-like cache on DDR4 (quad-cache; default).
+    Cache,
+    /// MCDRAM as an explicitly-addressed NUMA node.
+    Flat,
+}
+
+impl McdramMode {
+    /// Effective bandwidth for the mode (B/s): flat mode avoids the
+    /// cache tag/miss machinery and sustains closer to the stream peak.
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            McdramMode::Cache => 3.6e11,
+            McdramMode::Flat => 4.4e11,
+        }
+    }
+}
+
+/// Calibrated KNL node model.
+#[derive(Clone, Debug)]
+pub struct KnlModel {
+    /// Theoretical single-precision peak (Sec. IV: 6.09 TF/s per node).
+    pub peak_flops: f64,
+    /// Asymptotic conv rate for infinitely many channels (fraction of
+    /// sustained peak; DeepBench reports 75–80% for the best kernels).
+    pub conv_rmax: f64,
+    /// Channel count at which conv efficiency reaches half of `conv_rmax`.
+    pub conv_cin_half: f64,
+    /// Minibatch at which the batch-efficiency factor reaches 1/2.
+    pub batch_half: f64,
+    /// Effective MCDRAM bandwidth for bandwidth-bound layers (B/s).
+    pub mem_bw: f64,
+    /// Fixed dispatch overhead per layer per iteration (seconds).
+    pub layer_overhead: f64,
+    /// Bytes touched per parameter by one solver update (weights,
+    /// gradient, history copies).
+    pub solver_bytes_per_param: f64,
+    /// Effective bandwidth of the (poorly threaded) solver phase (B/s).
+    pub solver_bw: f64,
+}
+
+impl Default for KnlModel {
+    fn default() -> Self {
+        Self {
+            peak_flops: 6.09e12,
+            conv_rmax: 4.68e12,
+            conv_cin_half: 8.0,
+            batch_half: 4.0,
+            mem_bw: 3.6e11,
+            layer_overhead: 1.5e-4,
+            solver_bytes_per_param: 24.0,
+            solver_bw: 1.6e9,
+        }
+    }
+}
+
+impl KnlModel {
+    /// Reconfigures the memory-bandwidth model for an MCDRAM mode.
+    pub fn with_mcdram(mut self, mode: McdramMode) -> Self {
+        self.mem_bw = mode.bandwidth();
+        self
+    }
+
+    /// Saturating small-batch efficiency factor in `(0, 1]`.
+    #[inline]
+    pub fn batch_factor(&self, batch: usize) -> f64 {
+        let b = batch.max(1) as f64;
+        b / (b + self.batch_half)
+    }
+
+    /// Achieved FLOP rate of a convolution with `cin` input channels at
+    /// the given per-node minibatch.
+    pub fn conv_rate(&self, cin: usize, batch: usize) -> f64 {
+        let c = cin.max(1) as f64;
+        self.conv_rmax * (c / (c + self.conv_cin_half)) * self.batch_factor(batch)
+    }
+
+    /// Seconds one layer takes for a whole minibatch.
+    pub fn layer_time(&self, layer: &LayerCost, batch: usize) -> f64 {
+        let images = batch.max(1) as f64;
+        let t = match layer.class {
+            RateClass::Conv { cin } => {
+                images * layer.train_flops_per_image as f64 / self.conv_rate(cin, batch)
+            }
+            RateClass::MemoryBound { bytes_per_image } => {
+                images * bytes_per_image as f64 / self.mem_bw
+            }
+            RateClass::DenseSmall => {
+                // Latency-bound: flops negligible, a few microseconds.
+                images * (layer.train_flops_per_image as f64 / self.peak_flops) + 5e-6
+            }
+        };
+        t + self.layer_overhead
+    }
+
+    /// Compute time of one training iteration (all layers, no solver/IO).
+    pub fn compute_time(&self, layers: &[LayerCost], batch: usize) -> f64 {
+        layers.iter().map(|l| self.layer_time(l, batch)).sum()
+    }
+
+    /// Solver-update time per iteration (batch independent).
+    pub fn solver_time(&self, params: u64) -> f64 {
+        params as f64 * self.solver_bytes_per_param / self.solver_bw
+    }
+
+    /// Training FLOPs of one iteration over `layers` (excluding solver).
+    pub fn iteration_flops(layers: &[LayerCost], batch: usize) -> f64 {
+        layers
+            .iter()
+            .map(|l| l.train_flops_per_image as f64)
+            .sum::<f64>()
+            * batch.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(name: &str, cin: usize, gf: f64) -> LayerCost {
+        LayerCost {
+            name: name.into(),
+            train_flops_per_image: (gf * 1e9) as u64,
+            class: RateClass::Conv { cin },
+        }
+    }
+
+    #[test]
+    fn conv_rate_matches_paper_observations() {
+        let m = KnlModel::default();
+        // Sec. VI-A: initial few-channel layers ~1.25 TF/s, many-channel
+        // layers ~3.5 TF/s at batch 8 (we calibrate the *overall* rates
+        // exactly; per-class rates land in a band around the quotes).
+        let few = m.conv_rate(3, 8);
+        let many = m.conv_rate(128, 8);
+        assert!((0.7e12..1.6e12).contains(&few), "few-channel rate {few:.3e}");
+        assert!((2.7e12..3.9e12).contains(&many), "many-channel rate {many:.3e}");
+    }
+
+    #[test]
+    fn batch_efficiency_collapses_at_small_minibatch() {
+        let m = KnlModel::default();
+        // DeepBench (Sec. II-A): "decreasing minibatch size results in
+        // significant efficiency drops to as low as 20-30% [of peak] at
+        // minibatch sizes of 4-16".
+        let frac_of_peak_b4 = m.conv_rate(128, 4) / m.peak_flops;
+        assert!((0.2..0.45).contains(&frac_of_peak_b4), "b=4 peak fraction {frac_of_peak_b4}");
+        assert!(m.conv_rate(128, 1) < 0.4 * m.conv_rate(128, 64));
+        assert!(m.conv_rate(128, 8) > 0.6 * m.conv_rate(128, 64));
+        // Monotone in batch.
+        let rates: Vec<f64> = [1, 2, 4, 8, 16, 32].iter().map(|&b| m.conv_rate(64, b)).collect();
+        assert!(rates.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn rates_never_exceed_peak() {
+        let m = KnlModel::default();
+        for cin in [1, 3, 16, 128, 1024] {
+            for b in [1, 8, 1024] {
+                assert!(m.conv_rate(cin, b) < m.peak_flops);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_time_scales_linearly_in_flops() {
+        let m = KnlModel::default();
+        let a = conv("a", 128, 1.0);
+        let b = conv("b", 128, 2.0);
+        let ta = m.layer_time(&a, 8) - m.layer_overhead;
+        let tb = m.layer_time(&b, 8) - m.layer_overhead;
+        assert!((tb / ta - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_layer_uses_bandwidth() {
+        let m = KnlModel::default();
+        let l = LayerCost {
+            name: "relu".into(),
+            train_flops_per_image: 1_000,
+            class: RateClass::MemoryBound { bytes_per_image: 100_000_000 },
+        };
+        let t = m.layer_time(&l, 1) - m.layer_overhead;
+        assert!((t - 1e8 / m.mem_bw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_time_matches_bandwidth_model() {
+        let m = KnlModel::default();
+        let t = m.solver_time(594_178);
+        // HEP solver: ~594k params × 24 B / 1.6 GB/s ≈ 8.9 ms — the order
+        // of the paper's 12.5%-of-66ms ≈ 8.3 ms.
+        assert!((0.005..0.012).contains(&t), "solver time {t}");
+    }
+
+    #[test]
+    fn mcdram_flat_mode_speeds_bandwidth_bound_layers() {
+        let cache = KnlModel::default().with_mcdram(McdramMode::Cache);
+        let flat = KnlModel::default().with_mcdram(McdramMode::Flat);
+        let relu = LayerCost {
+            name: "relu".into(),
+            train_flops_per_image: 1_000,
+            class: RateClass::MemoryBound { bytes_per_image: 200_000_000 },
+        };
+        assert!(flat.layer_time(&relu, 8) < cache.layer_time(&relu, 8));
+        // Conv layers are compute-bound: unchanged.
+        let conv_l = LayerCost {
+            name: "c".into(),
+            train_flops_per_image: 1_000_000_000,
+            class: RateClass::Conv { cin: 128 },
+        };
+        assert_eq!(flat.layer_time(&conv_l, 8), cache.layer_time(&conv_l, 8));
+    }
+
+    #[test]
+    fn iteration_flops_sum_layers_times_batch() {
+        let layers = vec![conv("a", 3, 1.0), conv("b", 128, 2.0)];
+        assert_eq!(KnlModel::iteration_flops(&layers, 4), 4.0 * 3.0e9);
+    }
+}

@@ -1,0 +1,695 @@
+//! Iteration-level discrete-event simulation of distributed training on
+//! Cori — regenerates the scaling studies (Figs. 6–7), the full-system
+//! throughput numbers (Sec. VI-B3) and the simulated half of Fig. 5.
+//!
+//! Entities: `groups` compute groups iterating independently (a single
+//! group = fully synchronous training), and a bank of per-layer parameter
+//! servers that hybrid configurations exchange updates with. Within a
+//! group, the cost of an iteration is:
+//!
+//! ```text
+//! max-over-nodes(compute × jitter) + all-reduce(group) [+ PS exchange]
+//! ```
+//!
+//! The PS exchange is a fork-join over the per-layer PS servers, each a
+//! FIFO queue — saturation of a single PS under many groups is exactly
+//! what Sec. III-E(c)'s per-layer PS design avoids, and what the
+//! `ablation_ps` bench demonstrates.
+
+use crate::aries::AriesModel;
+use crate::event::EventQueue;
+use crate::jitter::JitterModel;
+use crate::knl::{KnlModel, LayerCost};
+use scidl_tensor::TensorRng;
+
+/// Static cost description of a training workload (built from a real
+/// `scidl-nn` network by `scidl-core::workloads`).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Workload name ("hep", "climate").
+    pub name: String,
+    /// Per-layer cost table.
+    pub layers: Vec<LayerCost>,
+    /// Scalar parameter count.
+    pub params: u64,
+    /// Model size in bytes (what all-reduce and PS exchanges move).
+    pub model_bytes: u64,
+    /// Bytes of one input image.
+    pub image_bytes: u64,
+    /// Effective input-pipeline bandwidth per node (B/s). The paper's
+    /// single-core HDF5 reader is slow; climate's 16-channel hyperslab
+    /// reads are slower still (13% of runtime vs 2% for HEP, Sec. VI-A).
+    pub io_bw: f64,
+    /// Solver arithmetic per parameter (ADAM ≈ 12, SGD ≈ 6).
+    pub solver_flops_per_param: u64,
+    /// Bytes touched per parameter per solver update (ADAM's history
+    /// copies are heavy; plain SGD-momentum is light).
+    pub solver_bytes_per_param: f64,
+    /// Effective bandwidth of the solver-update phase (B/s). The paper's
+    /// HEP/ADAM update is a slow, copy-dominated serial phase (12.5% of
+    /// runtime); the climate SGD update is well under 2%.
+    pub solver_bw: f64,
+}
+
+impl Workload {
+    /// Solver-update seconds for a shard of `params` parameters.
+    pub fn solver_secs(&self, params: u64) -> f64 {
+        params as f64 * self.solver_bytes_per_param / self.solver_bw
+    }
+
+    /// Training FLOPs per image (sum over layers).
+    pub fn flops_per_image(&self) -> f64 {
+        self.layers.iter().map(|l| l.train_flops_per_image as f64).sum()
+    }
+
+    /// Input-pipeline seconds for `batch` images on one node.
+    pub fn io_time(&self, batch: usize) -> f64 {
+        batch as f64 * self.image_bytes as f64 / self.io_bw
+    }
+
+    /// Single-node iteration time at minibatch `batch`: layers + solver
+    /// update + input pipeline (Sec. VI-A's decomposition).
+    pub fn node_iteration_time(&self, knl: &KnlModel, batch: usize) -> f64 {
+        knl.compute_time(&self.layers, batch) + self.solver_secs(self.params) + self.io_time(batch)
+    }
+
+    /// Single-node achieved FLOP rate at minibatch `batch` — the Fig. 5
+    /// headline numbers (HEP 1.90 TF/s, Climate 2.09 TF/s at batch 8).
+    pub fn single_node_rate(&self, knl: &KnlModel, batch: usize) -> f64 {
+        let flops = self.flops_per_image() * batch as f64
+            + (self.params * self.solver_flops_per_param) as f64;
+        flops / self.node_iteration_time(knl, batch)
+    }
+}
+
+/// One entry of the simulated single-node profile (Fig. 5).
+#[derive(Clone, Debug)]
+pub struct ProfileEntry {
+    /// Component name (layer name, "solver" or "io").
+    pub name: String,
+    /// Seconds per iteration.
+    pub secs: f64,
+    /// FLOPs per iteration (0 for non-arithmetic components).
+    pub flops: f64,
+}
+
+/// Simulated per-component single-node profile at minibatch `batch`.
+pub fn single_node_profile(w: &Workload, knl: &KnlModel, batch: usize) -> Vec<ProfileEntry> {
+    let mut out: Vec<ProfileEntry> = w
+        .layers
+        .iter()
+        .map(|l| ProfileEntry {
+            name: l.name.clone(),
+            secs: knl.layer_time(l, batch),
+            flops: l.train_flops_per_image as f64 * batch as f64,
+        })
+        .collect();
+    out.push(ProfileEntry {
+        name: "solver".into(),
+        secs: w.solver_secs(w.params),
+        flops: (w.params * w.solver_flops_per_param) as f64,
+    });
+    out.push(ProfileEntry { name: "io".into(), secs: w.io_time(batch), flops: 0.0 });
+    out
+}
+
+/// Configuration of one cluster simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The workload.
+    pub workload: Workload,
+    /// Total compute nodes (parameter servers are extra).
+    pub nodes: usize,
+    /// Number of compute groups; 1 = fully synchronous.
+    pub groups: usize,
+    /// Global minibatch per group per update.
+    pub batch_per_group: usize,
+    /// Node model.
+    pub knl: KnlModel,
+    /// Interconnect model.
+    pub net: AriesModel,
+    /// Variability model.
+    pub jitter: JitterModel,
+    /// Iterations per group to simulate.
+    pub iterations: usize,
+    /// Snapshot the model every `checkpoint_every` iterations (0 = off).
+    pub checkpoint_every: usize,
+    /// Filesystem bandwidth for snapshots (B/s).
+    pub fs_bw: f64,
+    /// Parameter servers (hybrid only). 0 derives one per layer with
+    /// parameters, capped at 16 (the paper uses 6 for HEP, 14 for
+    /// climate).
+    pub num_ps: usize,
+    /// Overlap the all-reduce with backward compute, as MLSL's
+    /// layer-wise communication does (Sec. III-D): the exposed
+    /// communication time is what remains after hiding up to the
+    /// backward half of the iteration.
+    pub overlap_comm: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A reasonable default configuration for `workload` on `nodes`
+    /// nodes in `groups` groups.
+    pub fn new(workload: Workload, nodes: usize, groups: usize, batch_per_group: usize) -> Self {
+        Self {
+            workload,
+            nodes,
+            groups,
+            batch_per_group,
+            knl: KnlModel::default(),
+            net: AriesModel::default(),
+            jitter: JitterModel::default(),
+            iterations: 30,
+            checkpoint_every: 0,
+            fs_bw: 2.0e8,
+            num_ps: 0,
+            overlap_comm: false,
+            seed: 0xC0121,
+        }
+    }
+
+    /// Disables all stochastic variability (for deterministic tests).
+    pub fn ideal(mut self) -> Self {
+        self.jitter = JitterModel::none();
+        self
+    }
+
+    fn effective_num_ps(&self) -> usize {
+        if self.num_ps > 0 {
+            self.num_ps
+        } else {
+            // One per parameterised layer, capped: the paper dedicates 6
+            // (HEP) / 14 (climate) PS nodes.
+            self.workload
+                .layers
+                .iter()
+                .filter(|l| matches!(l.class, crate::knl::RateClass::Conv { .. } | crate::knl::RateClass::DenseSmall))
+                .count()
+                .clamp(1, 16)
+        }
+    }
+}
+
+/// A completed group iteration.
+#[derive(Clone, Copy, Debug)]
+struct IterationRecord {
+    start: f64,
+    end: f64,
+    flops: f64,
+    staleness: u64,
+}
+
+/// Result of a cluster simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Per-group iteration durations (seconds).
+    pub iter_times: Vec<Vec<f64>>,
+    /// Completed iteration intervals `(group, start, end)` in completion
+    /// order — the timeline Gantt charts are drawn from.
+    pub timeline: Vec<(usize, f64, f64)>,
+    /// Total simulated wall-clock seconds.
+    pub total_time: f64,
+    /// Total training FLOPs executed.
+    pub total_flops: f64,
+    /// Images processed.
+    pub images: u64,
+    /// Peak system FLOP rate (best time bin), FLOP/s.
+    pub peak_rate: f64,
+    /// Sustained system FLOP rate (best contiguous window ≈ 10 mean
+    /// iterations), FLOP/s.
+    pub sustained_rate: f64,
+    /// Mean update staleness in group-updates (0 for synchronous).
+    pub mean_staleness: f64,
+    /// Simulated time of the first node failure that halted a group, if
+    /// any.
+    pub failure_at: Option<f64>,
+    /// Groups still alive at the end.
+    pub live_groups: usize,
+}
+
+impl SimResult {
+    /// Throughput in images per second.
+    pub fn images_per_sec(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            0.0
+        } else {
+            self.images as f64 / self.total_time
+        }
+    }
+
+    /// Average FLOP rate over the whole run.
+    pub fn average_rate(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            0.0
+        } else {
+            self.total_flops / self.total_time
+        }
+    }
+}
+
+enum Ev {
+    /// Group finished compute + intra-group all-reduce.
+    GroupLocalDone { group: usize, iter: usize, start: f64 },
+    /// Group received all PS responses (or skipped PS when synchronous).
+    GroupIterDone { group: usize, iter: usize, start: f64 },
+    /// A node failure strikes the given group.
+    Failure { group: usize },
+}
+
+/// The cluster simulator.
+pub struct ClusterSim {
+    cfg: SimConfig,
+}
+
+impl ClusterSim {
+    /// Creates a simulator for the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.nodes >= 1 && cfg.groups >= 1, "need nodes and groups");
+        assert!(cfg.groups <= cfg.nodes, "more groups than nodes");
+        assert!(cfg.batch_per_group >= 1, "empty batch");
+        Self { cfg }
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(&self) -> SimResult {
+        let cfg = &self.cfg;
+        let mut rng = TensorRng::new(cfg.seed ^ 0x5157);
+        let groups = cfg.groups;
+        let hybrid = groups > 1;
+        let num_ps = cfg.effective_num_ps();
+        let group_nodes_base = cfg.nodes / groups;
+        assert!(group_nodes_base >= 1, "groups larger than node count");
+
+        // Per-group node counts (remainder spread over the first groups).
+        let mut group_nodes: Vec<usize> = (0..groups)
+            .map(|g| group_nodes_base + usize::from(g < cfg.nodes % groups))
+            .collect();
+
+        // Pre-sample a failure for the whole run.
+        // Estimate the horizon from an ideal iteration time.
+        let b_est = (cfg.batch_per_group / group_nodes_base).max(1);
+        let est_iter = cfg.workload.node_iteration_time(&cfg.knl, b_est);
+        let horizon = est_iter * cfg.iterations as f64 * 1.5;
+        let failure = cfg
+            .jitter
+            .first_failure(&mut rng, cfg.nodes, horizon)
+            .map(|t| (t, rng.below(groups)));
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        if let Some((t, g)) = failure {
+            queue.schedule(t, Ev::Failure { group: g });
+        }
+
+        // PS bank: next-free times, model shards, delay-spike stream.
+        let ps_bytes = cfg.workload.model_bytes / num_ps as u64;
+        let ps_params = cfg.workload.params / num_ps as u64;
+        let mut ps_free = vec![0.0f64; num_ps];
+        let mut ps_rng = rng.fork(0x505);
+
+        // Global PS update counter + per-group last-seen version for
+        // staleness accounting.
+        let mut global_updates: u64 = 0;
+        let mut group_version = vec![0u64; groups];
+
+        let mut iter_times: Vec<Vec<f64>> = vec![Vec::new(); groups];
+        let mut records: Vec<IterationRecord> = Vec::new();
+        let mut timeline: Vec<(usize, f64, f64)> = Vec::new();
+        let mut alive = vec![true; groups];
+        let mut done_iters = vec![0usize; groups];
+        let mut rngs: Vec<TensorRng> = (0..groups).map(|g| rng.fork(g as u64 + 101)).collect();
+
+        let iter_flops_per_group =
+            cfg.workload.flops_per_image() * cfg.batch_per_group as f64
+                + (cfg.workload.params * cfg.workload.solver_flops_per_param) as f64;
+
+        // Kick off: every group starts its first iteration at t=0.
+        for (g, grng) in rngs.iter_mut().enumerate() {
+            let dur = self.group_local_time(g, 0, &group_nodes, grng);
+            queue.schedule(dur, Ev::GroupLocalDone { group: g, iter: 0, start: 0.0 });
+        }
+
+        let mut failure_at = None;
+
+        while let Some((now, ev)) = queue.pop() {
+            match ev {
+                Ev::Failure { group } => {
+                    if alive[group] {
+                        if hybrid {
+                            // One group is lost; the rest continue
+                            // (Sec. VIII-A resilience).
+                            alive[group] = false;
+                        } else {
+                            // A single node failure kills a synchronous run.
+                            alive[0] = false;
+                        }
+                        failure_at = Some(now);
+                    }
+                }
+                Ev::GroupLocalDone { group, iter, start } => {
+                    if !alive[group] {
+                        continue;
+                    }
+                    if hybrid {
+                        // Fork-join over the per-layer PS bank (FIFO).
+                        let mut resume = now;
+                        for free in ps_free.iter_mut() {
+                            let begin = free.max(now);
+                            let service = cfg.net.p2p_time(ps_bytes) // gradient up
+                                + cfg.workload.solver_secs(ps_params) // PS applies update
+                                + cfg.net.p2p_time(ps_bytes) // model down
+                                + cfg.jitter.ps_request_delay(&mut ps_rng);
+                            *free = begin + service;
+                            resume = resume.max(*free);
+                        }
+                        // Root broadcasts the fresh model to its group.
+                        resume += cfg.net.broadcast_time(group_nodes[group], cfg.workload.model_bytes);
+                        queue.schedule(resume, Ev::GroupIterDone { group, iter, start });
+                    } else {
+                        queue.schedule(now, Ev::GroupIterDone { group, iter, start });
+                    }
+                }
+                Ev::GroupIterDone { group, iter, start } => {
+                    if !alive[group] {
+                        continue;
+                    }
+                    // Staleness: PS updates applied since this group last
+                    // synchronised.
+                    let staleness = global_updates - group_version[group];
+                    global_updates += 1;
+                    group_version[group] = global_updates;
+
+                    let mut end = now;
+                    if cfg.checkpoint_every > 0 && (iter + 1) % cfg.checkpoint_every == 0 {
+                        end += cfg.workload.model_bytes as f64 / cfg.fs_bw;
+                    }
+
+                    iter_times[group].push(end - start);
+                    timeline.push((group, start, end));
+                    records.push(IterationRecord {
+                        start,
+                        end,
+                        flops: iter_flops_per_group,
+                        staleness,
+                    });
+                    done_iters[group] = iter + 1;
+
+                    if iter + 1 < cfg.iterations {
+                        let dur = self.group_local_time(group, iter + 1, &group_nodes, &mut rngs[group]);
+                        queue.schedule(
+                            end + dur,
+                            Ev::GroupLocalDone { group, iter: iter + 1, start: end },
+                        );
+                    }
+                }
+            }
+        }
+
+        let total_time = records.iter().map(|r| r.end).fold(0.0, f64::max);
+        let total_flops: f64 = records.iter().map(|r| r.flops).sum();
+        let images = records.len() as u64 * cfg.batch_per_group as u64;
+        let (peak, sustained) = rate_windows(&records);
+        let mean_staleness = if records.is_empty() {
+            0.0
+        } else {
+            records.iter().map(|r| r.staleness as f64).sum::<f64>() / records.len() as f64
+        };
+
+        // Keep group_nodes alive for future extensions (failed-node
+        // shrinkage is handled by group removal for now).
+        let _ = &mut group_nodes;
+
+        SimResult {
+            iter_times,
+            timeline,
+            total_time,
+            total_flops,
+            images,
+            peak_rate: peak,
+            sustained_rate: sustained,
+            mean_staleness,
+            failure_at,
+            live_groups: alive.iter().filter(|&&a| a).count(),
+        }
+    }
+
+    /// Compute + intra-group all-reduce time for one group iteration.
+    fn group_local_time(
+        &self,
+        group: usize,
+        _iter: usize,
+        group_nodes: &[usize],
+        rng: &mut TensorRng,
+    ) -> f64 {
+        let cfg = &self.cfg;
+        let nodes = group_nodes[group];
+        let b = (cfg.batch_per_group / nodes).max(1);
+        let compute = cfg.workload.node_iteration_time(&cfg.knl, b)
+            - if cfg.groups > 1 {
+                // In hybrid mode the solver runs on the PS, not the node.
+                cfg.workload.solver_secs(cfg.workload.params)
+            } else {
+                0.0
+            };
+        let barrier = cfg.jitter.barrier_multiplier(rng, nodes);
+        let delay = cfg.jitter.barrier_delay(rng, nodes);
+        let mut allreduce = cfg.net.allreduce_time(nodes, cfg.workload.model_bytes)
+            * cfg.jitter.compute_multiplier(rng);
+        if cfg.overlap_comm {
+            // Layer-wise all-reduce overlaps with the backward pass
+            // (≈ half of the compute); only the excess is exposed.
+            let window = 0.5 * compute * barrier;
+            allreduce = (allreduce - window).max(0.0);
+        }
+        compute * barrier + delay + allreduce
+    }
+}
+
+/// Computes (peak, sustained) system FLOP rates from iteration records:
+/// FLOPs are spread uniformly over each record's interval, binned at the
+/// mean iteration duration; peak is the best bin, sustained the best
+/// 10-bin contiguous window (mirroring the paper's best-iteration /
+/// best-100-iteration-window definitions in Sec. V).
+fn rate_windows(records: &[IterationRecord]) -> (f64, f64) {
+    if records.is_empty() {
+        return (0.0, 0.0);
+    }
+    let t_end = records.iter().map(|r| r.end).fold(0.0, f64::max);
+    let mean_dur = records.iter().map(|r| r.end - r.start).sum::<f64>() / records.len() as f64;
+    let bin = mean_dur.max(t_end / 1000.0).max(1e-9);
+    let nbins = (t_end / bin).ceil() as usize + 1;
+    let mut bins = vec![0.0f64; nbins];
+    for r in records {
+        let dur = (r.end - r.start).max(1e-12);
+        let rate = r.flops / dur;
+        let first = (r.start / bin) as usize;
+        let last = ((r.end / bin) as usize).min(nbins - 1);
+        for (off, slot) in bins[first..=last].iter_mut().enumerate() {
+            let b = first + off;
+            let lo = (b as f64 * bin).max(r.start);
+            let hi = ((b + 1) as f64 * bin).min(r.end);
+            if hi > lo {
+                *slot += rate * (hi - lo);
+            }
+        }
+    }
+    // Drop the ramp-up/ramp-down edge bins from the peak estimate.
+    let interior = if bins.len() > 4 { &bins[1..bins.len() - 2] } else { &bins[..] };
+    let peak = interior.iter().copied().fold(0.0, f64::max) / bin;
+    let window = 10.min(interior.len()).max(1);
+    let mut sustained = 0.0f64;
+    for w in interior.windows(window) {
+        sustained = sustained.max(w.iter().sum::<f64>() / (window as f64 * bin));
+    }
+    (peak, sustained)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knl::RateClass;
+
+    fn toy_workload() -> Workload {
+        Workload {
+            name: "toy".into(),
+            layers: vec![
+                LayerCost {
+                    name: "conv1".into(),
+                    train_flops_per_image: 1_000_000_000,
+                    class: RateClass::Conv { cin: 3 },
+                },
+                LayerCost {
+                    name: "conv2".into(),
+                    train_flops_per_image: 10_000_000_000,
+                    class: RateClass::Conv { cin: 128 },
+                },
+                LayerCost {
+                    name: "relu".into(),
+                    train_flops_per_image: 1_000_000,
+                    class: RateClass::MemoryBound { bytes_per_image: 50_000_000 },
+                },
+            ],
+            params: 600_000,
+            model_bytes: 2_400_000,
+            image_bytes: 600_000,
+            io_bw: 3.0e9,
+            solver_flops_per_param: 12,
+            solver_bytes_per_param: 24.0,
+            solver_bw: 1.6e9,
+        }
+    }
+
+    #[test]
+    fn single_node_rate_is_sane() {
+        let w = toy_workload();
+        let knl = KnlModel::default();
+        let r = w.single_node_rate(&knl, 8);
+        assert!((5e11..4e12).contains(&r), "rate {r:.3e}");
+        // Larger batches are more efficient.
+        assert!(w.single_node_rate(&knl, 64) > w.single_node_rate(&knl, 2));
+    }
+
+    #[test]
+    fn profile_includes_solver_and_io() {
+        let w = toy_workload();
+        let p = single_node_profile(&w, &KnlModel::default(), 8);
+        assert_eq!(p.len(), w.layers.len() + 2);
+        assert!(p.iter().any(|e| e.name == "solver" && e.secs > 0.0));
+        assert!(p.iter().any(|e| e.name == "io" && e.secs > 0.0));
+    }
+
+    #[test]
+    fn sim_is_deterministic_given_seed() {
+        let cfg = SimConfig::new(toy_workload(), 16, 4, 64);
+        let a = ClusterSim::new(cfg.clone()).run();
+        let b = ClusterSim::new(cfg).run();
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.total_flops, b.total_flops);
+    }
+
+    #[test]
+    fn sync_iterations_have_no_staleness() {
+        let mut cfg = SimConfig::new(toy_workload(), 8, 1, 64).ideal();
+        cfg.iterations = 10;
+        let r = ClusterSim::new(cfg).run();
+        assert_eq!(r.mean_staleness, 0.0);
+        assert_eq!(r.iter_times[0].len(), 10);
+    }
+
+    #[test]
+    fn hybrid_groups_have_staleness_near_group_count() {
+        let mut cfg = SimConfig::new(toy_workload(), 16, 4, 64).ideal();
+        cfg.iterations = 40;
+        let r = ClusterSim::new(cfg).run();
+        // In steady state every group sees ~G-1 other updates between its
+        // own (plus start-up transients).
+        assert!(r.mean_staleness > 1.5 && r.mean_staleness < 4.5, "staleness {}", r.mean_staleness);
+    }
+
+    #[test]
+    fn more_nodes_increase_throughput_ideal() {
+        let mut t = Vec::new();
+        for nodes in [1usize, 4, 16] {
+            let mut cfg = SimConfig::new(toy_workload(), nodes, 1, 256).ideal();
+            cfg.iterations = 10;
+            let r = ClusterSim::new(cfg).run();
+            t.push(r.images_per_sec());
+        }
+        assert!(t[1] > t[0] * 2.0, "4 nodes ≥ 2x: {t:?}");
+        assert!(t[2] > t[1] * 2.0, "16 nodes ≥ 2x over 4: {t:?}");
+    }
+
+    #[test]
+    fn strong_scaling_sync_saturates_with_jitter() {
+        // Fixed total batch: per-node batch shrinks with node count and
+        // stragglers grow — the Fig. 6 mechanism.
+        let run = |nodes: usize| {
+            let mut cfg = SimConfig::new(toy_workload(), nodes, 1, 2048);
+            cfg.iterations = 12;
+            cfg.seed = 7;
+            ClusterSim::new(cfg).run().images_per_sec()
+        };
+        let t256 = run(256);
+        let t1024 = run(1024);
+        let speedup = t1024 / t256;
+        // Far from the ideal 4x.
+        assert!(speedup < 3.0, "sync strong scaling should saturate: {speedup}");
+    }
+
+    #[test]
+    fn hybrid_beats_sync_at_scale_strong_scaling() {
+        let run = |groups: usize| {
+            let mut cfg = SimConfig::new(toy_workload(), 1024, groups, 2048);
+            cfg.iterations = 12;
+            cfg.seed = 11;
+            ClusterSim::new(cfg).run().images_per_sec()
+        };
+        let sync = run(1);
+        let hybrid4 = run(4);
+        assert!(hybrid4 > sync, "hybrid-4 {hybrid4} should beat sync {sync} at 1024 nodes");
+    }
+
+    #[test]
+    fn failure_kills_sync_but_not_hybrid() {
+        let deadly = JitterModel { fail_rate_per_node_hour: 50.0, ..JitterModel::none() };
+        let mut sync_cfg = SimConfig::new(toy_workload(), 64, 1, 512);
+        sync_cfg.jitter = deadly.clone();
+        sync_cfg.iterations = 2000;
+        let sync = ClusterSim::new(sync_cfg).run();
+        assert!(sync.failure_at.is_some());
+        assert_eq!(sync.live_groups, 0);
+
+        let mut hyb_cfg = SimConfig::new(toy_workload(), 64, 4, 512);
+        hyb_cfg.jitter = deadly;
+        hyb_cfg.iterations = 2000;
+        let hyb = ClusterSim::new(hyb_cfg).run();
+        assert!(hyb.failure_at.is_some());
+        assert_eq!(hyb.live_groups, 3, "hybrid should lose exactly one group");
+    }
+
+    #[test]
+    fn checkpoint_overhead_lowers_sustained_rate() {
+        let mut with = SimConfig::new(toy_workload(), 8, 1, 64).ideal();
+        with.iterations = 30;
+        with.checkpoint_every = 5;
+        with.fs_bw = 1.0e6; // slow FS to make it visible
+        let r_with = ClusterSim::new(with).run();
+
+        let mut without = SimConfig::new(toy_workload(), 8, 1, 64).ideal();
+        without.iterations = 30;
+        let r_without = ClusterSim::new(without).run();
+
+        assert!(r_with.sustained_rate < r_without.sustained_rate);
+        assert!(r_with.peak_rate >= r_with.sustained_rate);
+    }
+
+    #[test]
+    fn comm_overlap_never_hurts_and_helps_big_models() {
+        // A workload with a heavy model (large all-reduce) benefits from
+        // overlap; overlap must never make an iteration slower.
+        let mut w = toy_workload();
+        w.model_bytes = 320 * 1024 * 1024; // climate-sized
+        let run = |overlap: bool| {
+            let mut cfg = SimConfig::new(w.clone(), 256, 1, 2048).ideal();
+            cfg.iterations = 6;
+            cfg.overlap_comm = overlap;
+            ClusterSim::new(cfg).run().images_per_sec()
+        };
+        let plain = run(false);
+        let overlapped = run(true);
+        assert!(
+            overlapped > plain * 1.02,
+            "overlap should hide a heavy all-reduce: {plain} vs {overlapped}"
+        );
+    }
+
+    #[test]
+    fn peak_at_least_sustained_at_least_zero() {
+        let mut cfg = SimConfig::new(toy_workload(), 32, 2, 256);
+        cfg.iterations = 20;
+        let r = ClusterSim::new(cfg).run();
+        assert!(r.peak_rate >= r.sustained_rate);
+        assert!(r.sustained_rate > 0.0);
+    }
+}

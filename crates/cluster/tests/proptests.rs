@@ -1,0 +1,163 @@
+//! Property-based tests for the cluster simulator: event-calendar
+//! ordering, cost-model monotonicity and simulation invariants under
+//! arbitrary configurations.
+
+use proptest::prelude::*;
+use scidl_cluster::event::EventQueue;
+use scidl_cluster::knl::{KnlModel, LayerCost, RateClass};
+use scidl_cluster::sim::{ClusterSim, SimConfig, Workload};
+use scidl_cluster::AriesModel;
+
+fn toy_workload(flops_gf: u64) -> Workload {
+    Workload {
+        name: "toy".into(),
+        layers: vec![
+            LayerCost {
+                name: "conv".into(),
+                train_flops_per_image: flops_gf * 1_000_000_000,
+                class: RateClass::Conv { cin: 64 },
+            },
+            LayerCost {
+                name: "relu".into(),
+                train_flops_per_image: 1_000_000,
+                class: RateClass::MemoryBound { bytes_per_image: 10_000_000 },
+            },
+        ],
+        params: 500_000,
+        model_bytes: 2_000_000,
+        image_bytes: 500_000,
+        io_bw: 3.0e9,
+        solver_flops_per_param: 6,
+        solver_bytes_per_param: 12.0,
+        solver_bw: 2.0e9,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Events pop in nondecreasing time order regardless of insertion
+    /// order.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1000.0, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// The conv rate model is monotone in both channels and batch and
+    /// never exceeds the hardware peak.
+    #[test]
+    fn knl_rates_monotone_and_bounded(
+        cin in 1usize..2048,
+        batch in 1usize..512,
+    ) {
+        let m = KnlModel::default();
+        let r = m.conv_rate(cin, batch);
+        prop_assert!(r > 0.0 && r < m.peak_flops);
+        prop_assert!(m.conv_rate(cin + 1, batch) >= r);
+        prop_assert!(m.conv_rate(cin, batch + 1) >= r);
+    }
+
+    /// All-reduce cost grows with message size and never becomes
+    /// negative; broadcast is cheaper than all-reduce for large payloads.
+    #[test]
+    fn aries_costs_behave(nodes in 2usize..4096, kb in 1u64..100_000) {
+        let m = AriesModel::default();
+        let bytes = kb * 1024;
+        let t = m.allreduce_time(nodes, bytes);
+        prop_assert!(t > 0.0);
+        prop_assert!(m.allreduce_time(nodes, bytes * 2) > t);
+        prop_assert!(m.broadcast_time(nodes, bytes) <= t + 1e-12);
+    }
+
+    /// A simulation always completes the requested iterations (absent
+    /// failures), processes the matching image count, and reports
+    /// non-negative times.
+    #[test]
+    fn sim_completes_all_iterations(
+        nodes_pow in 0u32..8,
+        groups_pow in 0u32..3,
+        iterations in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let nodes = 1usize << nodes_pow;
+        let groups = (1usize << groups_pow).min(nodes);
+        let mut cfg = SimConfig::new(toy_workload(2), nodes, groups, 64.max(nodes));
+        cfg.iterations = iterations;
+        cfg.seed = seed;
+        cfg.jitter.fail_rate_per_node_hour = 0.0; // no failures
+        let r = ClusterSim::new(cfg.clone()).run();
+        let expect_iters = groups * iterations;
+        let done: usize = r.iter_times.iter().map(|v| v.len()).sum();
+        prop_assert_eq!(done, expect_iters);
+        prop_assert_eq!(r.images, (expect_iters * cfg.batch_per_group) as u64);
+        prop_assert!(r.total_time > 0.0);
+        prop_assert!(r.iter_times.iter().flatten().all(|&t| t > 0.0));
+        prop_assert!(r.peak_rate >= r.sustained_rate * 0.99);
+    }
+
+    /// Bit-identical determinism for any seed.
+    #[test]
+    fn sim_is_deterministic(seed in any::<u64>()) {
+        let mut cfg = SimConfig::new(toy_workload(1), 16, 2, 64);
+        cfg.iterations = 5;
+        cfg.seed = seed;
+        let a = ClusterSim::new(cfg.clone()).run();
+        let b = ClusterSim::new(cfg).run();
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.iter_times, b.iter_times);
+    }
+
+    /// Timeline invariants: per group, iteration intervals are disjoint
+    /// and time-ordered; every interval has positive length.
+    #[test]
+    fn timeline_intervals_are_disjoint_per_group(
+        groups in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = SimConfig::new(toy_workload(1), 8.max(groups), groups, 32);
+        cfg.iterations = 6;
+        cfg.seed = seed;
+        cfg.jitter.fail_rate_per_node_hour = 0.0;
+        let r = ClusterSim::new(cfg).run();
+        for g in 0..groups {
+            let mut intervals: Vec<(f64, f64)> = r
+                .timeline
+                .iter()
+                .filter(|(gg, _, _)| *gg == g)
+                .map(|&(_, s, e)| (s, e))
+                .collect();
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            prop_assert_eq!(intervals.len(), 6);
+            for w in intervals.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0 + 1e-12, "intervals overlap: {w:?}");
+            }
+            prop_assert!(intervals.iter().all(|&(s, e)| e > s));
+        }
+    }
+
+    /// Synchronous runs never report staleness; hybrid runs with G>=2
+    /// always do (in an ideal machine, steady state interleaves).
+    #[test]
+    fn staleness_semantics(groups in 1usize..5, seed in any::<u64>()) {
+        let mut cfg = SimConfig::new(toy_workload(1), 16, groups, 64).ideal();
+        cfg.iterations = 12;
+        cfg.seed = seed;
+        let r = ClusterSim::new(cfg).run();
+        if groups == 1 {
+            prop_assert_eq!(r.mean_staleness, 0.0);
+        } else {
+            prop_assert!(r.mean_staleness > 0.0);
+        }
+    }
+}

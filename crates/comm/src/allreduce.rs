@@ -1,0 +1,198 @@
+//! True ring all-reduce over per-rank mailboxes.
+//!
+//! The shared-accumulator collective in [`crate::world`] is the simplest
+//! correct implementation for threads; MLSL on the Aries network runs a
+//! *ring*: a reduce-scatter phase (each rank ends up owning the fully
+//! reduced sum of one chunk) followed by an all-gather phase (chunks
+//! circulate until everyone has everything) — `2·(n−1)` steps moving
+//! `bytes/n` each, which is where the `2·(n−1)/n · bytes/bw` cost model
+//! in `scidl-cluster::aries` comes from. This module implements that
+//! algorithm faithfully over crossbeam channels so the cost model's
+//! step structure corresponds to real code.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Mailbox fabric connecting `n` ranks in a ring.
+pub struct RingFabric {
+    /// `to_next[r]` sends to rank `(r+1) % n`.
+    to_next: Vec<Sender<Vec<f32>>>,
+    /// `from_prev[r]` receives from rank `(r-1+n) % n`.
+    from_prev: Vec<Receiver<Vec<f32>>>,
+}
+
+impl RingFabric {
+    /// Builds the ring for `n` ranks.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        // Sender r feeds receiver (r+1) % n: rotate receivers left by one.
+        receivers.rotate_left(n - 1);
+        Self { to_next: senders, from_prev: receivers }
+    }
+
+    /// Splits the fabric into per-rank endpoints `(send_next, recv_prev)`.
+    pub fn into_endpoints(self) -> Vec<RingEndpoint> {
+        self.to_next.into_iter().zip(self.from_prev).collect()
+    }
+}
+
+/// One rank's pair of ring channels: `(send to next, receive from prev)`.
+pub type RingEndpoint = (Sender<Vec<f32>>, Receiver<Vec<f32>>);
+
+/// Ring all-reduce (mean) for rank `rank` of `n`: reduce-scatter then
+/// all-gather. All ranks must call this concurrently with equal-length
+/// buffers; on return `data` holds the elementwise mean.
+pub fn ring_allreduce_mean(
+    rank: usize,
+    n: usize,
+    data: &mut [f32],
+    send_next: &Sender<Vec<f32>>,
+    recv_prev: &Receiver<Vec<f32>>,
+) {
+    if n <= 1 {
+        return;
+    }
+    let len = data.len();
+    // Chunk boundaries: chunk c covers [starts[c], starts[c+1]).
+    let starts: Vec<usize> = (0..=n).map(|c| c * len / n).collect();
+    let chunk = |c: usize| starts[c]..starts[c + 1];
+
+    // Reduce-scatter: in step s, send chunk (rank - s) and receive+add
+    // chunk (rank - s - 1).
+    for s in 0..n - 1 {
+        let send_c = (rank + n - s) % n;
+        let recv_c = (rank + n - s - 1) % n;
+        send_next
+            .send(data[chunk(send_c)].to_vec())
+            .expect("ring neighbour gone");
+        let incoming = recv_prev.recv().expect("ring neighbour gone");
+        for (d, v) in data[chunk(recv_c)].iter_mut().zip(incoming) {
+            *d += v;
+        }
+    }
+    // Rank now owns the full sum of chunk (rank + 1) % n; scale it.
+    let own = (rank + 1) % n;
+    let inv = 1.0 / n as f32;
+    for d in &mut data[chunk(own)] {
+        *d *= inv;
+    }
+    // All-gather: circulate finished chunks.
+    for s in 0..n - 1 {
+        let send_c = (rank + 1 + n - s) % n;
+        let recv_c = (rank + n - s) % n;
+        send_next
+            .send(data[chunk(send_c)].to_vec())
+            .expect("ring neighbour gone");
+        let incoming = recv_prev.recv().expect("ring neighbour gone");
+        data[chunk(recv_c)].copy_from_slice(&incoming);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_ring(n: usize, len: usize) -> Vec<Vec<f32>> {
+        let endpoints = RingFabric::new(n).into_endpoints();
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (tx, rx))| {
+                thread::spawn(move || {
+                    let mut data: Vec<f32> =
+                        (0..len).map(|i| (rank * len + i) as f32).collect();
+                    ring_allreduce_mean(rank, n, &mut data, &tx, &rx);
+                    data
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn expected(n: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                (0..n).map(|r| (r * len + i) as f32).sum::<f32>() / n as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_matches_mean_small() {
+        for n in [2, 3, 4, 5, 8] {
+            let len = 12;
+            let results = run_ring(n, len);
+            let want = expected(n, len);
+            for (r, got) in results.iter().enumerate() {
+                for (a, b) in got.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-4, "n={n} rank={r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_handles_len_not_divisible_by_n() {
+        let results = run_ring(4, 10);
+        let want = expected(4, 10);
+        for got in results {
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_handles_len_smaller_than_n() {
+        // Some chunks are empty; the algorithm must still terminate.
+        let results = run_ring(6, 3);
+        let want = expected(6, 3);
+        for got in results {
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let endpoints = RingFabric::new(1).into_endpoints();
+        let (tx, rx) = &endpoints[0];
+        let mut data = vec![1.0, 2.0];
+        ring_allreduce_mean(0, 1, &mut data, tx, rx);
+        assert_eq!(data, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ring_agrees_with_tree_allreduce() {
+        use crate::world::CommWorld;
+        let n = 5;
+        let len = 37;
+        let ring = run_ring(n, len);
+
+        let comms = CommWorld::new(n);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, c)| {
+                thread::spawn(move || {
+                    let mut data: Vec<f32> =
+                        (0..len).map(|i| (rank * len + i) as f32).collect();
+                    c.allreduce_mean(&mut data);
+                    data
+                })
+            })
+            .collect();
+        let tree: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (a, b) in ring[0].iter().zip(&tree[0]) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Compressed gradient exchange.
+//!
+//! Sec. VIII-B: "more aggressive optimizations involving computing in
+//! low-precision and *communicating high-order bits of weight updates*
+//! are poorly understood with regards to their implications for
+//! classification and regression accuracy for scientific datasets."
+//! This module implements that optimisation so its implications can be
+//! studied: an 8-bit quantised all-reduce with **error feedback** — each
+//! rank keeps the quantisation residual and adds it to its next
+//! contribution, which preserves convergence (the residuals telescope).
+//!
+//! The wire format is `scidl_tensor::ops::quantize_i8` (symmetric linear
+//! i8 + one f32 scale): 3.99x less traffic than f32 for large buffers.
+
+use crate::world::Communicator;
+use scidl_tensor::ops::{dequantize_i8, quantize_i8};
+
+/// Per-rank state for error-feedback compressed all-reduce.
+pub struct CompressedAllReduce {
+    /// Quantisation residual carried to the next round.
+    residual: Vec<f32>,
+}
+
+impl Default for CompressedAllReduce {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompressedAllReduce {
+    /// Creates fresh (zero-residual) state.
+    pub fn new() -> Self {
+        Self { residual: Vec::new() }
+    }
+
+    /// Compressed mean all-reduce: quantises `data + residual` to 8 bits,
+    /// exchanges the quantised view, stores the new residual, and leaves
+    /// the *dequantised mean of the quantised contributions* in `data`.
+    ///
+    /// Returns the wire bytes this rank sent (for traffic accounting).
+    pub fn allreduce_mean(&mut self, comm: &Communicator, data: &mut [f32]) -> usize {
+        if self.residual.len() != data.len() {
+            self.residual.clear();
+            self.residual.resize(data.len(), 0.0);
+        }
+        // Error feedback: compensate what previous rounds dropped.
+        for (d, r) in data.iter_mut().zip(&self.residual) {
+            *d += r;
+        }
+        let (q, scale) = quantize_i8(data);
+        // New residual = intended − actually-sent.
+        let mut sent = vec![0.0f32; data.len()];
+        dequantize_i8(&q, scale, &mut sent);
+        for ((r, d), s) in self.residual.iter_mut().zip(data.iter()).zip(&sent) {
+            *r = d - s;
+        }
+        // The exchange itself reuses the exact shared-memory collective;
+        // on a real network only `q` + `scale` would travel.
+        data.copy_from_slice(&sent);
+        comm.allreduce_mean(data);
+        q.len() + std::mem::size_of::<f32>()
+    }
+
+    /// Current residual magnitude (L2), for diagnostics.
+    pub fn residual_norm(&self) -> f64 {
+        self.residual.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::CommWorld;
+    use std::thread;
+
+    #[test]
+    fn compressed_mean_close_to_exact() {
+        let n = 4;
+        let len = 257;
+        let comms = CommWorld::new(n);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                thread::spawn(move || {
+                    let mut state = CompressedAllReduce::new();
+                    let mut data: Vec<f32> =
+                        (0..len).map(|i| ((rank * len + i) % 13) as f32 * 0.1 - 0.6).collect();
+                    let exact: Vec<f32> = (0..len)
+                        .map(|i| {
+                            (0..n).map(|r| ((r * len + i) % 13) as f32 * 0.1 - 0.6).sum::<f32>()
+                                / n as f32
+                        })
+                        .collect();
+                    let bytes = state.allreduce_mean(&comm, &mut data);
+                    (data, exact, bytes)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (got, exact, bytes) = h.join().unwrap();
+            assert_eq!(bytes, len + 4);
+            for (g, e) in got.iter().zip(&exact) {
+                // Worst-case per-element quantisation error is max/127.
+                assert!((g - e).abs() < 0.02, "{g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_feedback_recovers_dropped_mass_over_rounds() {
+        // A value far below one quantisation step would be silently
+        // dropped without error feedback; with it, the accumulated sum
+        // over many rounds approaches the true total.
+        let comms = CommWorld::new(1);
+        let comm = &comms[0];
+        let mut state = CompressedAllReduce::new();
+        let tiny = 0.004f32;
+        let big = 1.0f32;
+        let mut acc = 0.0f64;
+        let rounds = 500;
+        for _ in 0..rounds {
+            // Element 0 is tiny, element 1 sets the scale (1/127 ≈ 0.0079
+            // per step > tiny).
+            let mut data = vec![tiny, big];
+            state.allreduce_mean(comm, &mut data);
+            acc += data[0] as f64;
+        }
+        let want = tiny as f64 * rounds as f64;
+        assert!(
+            (acc - want).abs() / want < 0.05,
+            "error feedback should preserve mass: {acc} vs {want}"
+        );
+    }
+
+    #[test]
+    fn without_feedback_tiny_values_vanish() {
+        // Control for the test above: plain quantisation drops values
+        // under half a quantisation step (1/254 of the max here).
+        let (q, scale) = scidl_tensor::ops::quantize_i8(&[0.003, 1.0]);
+        let mut out = vec![0.0f32; 2];
+        scidl_tensor::ops::dequantize_i8(&q, scale, &mut out);
+        assert_eq!(out[0], 0.0, "tiny value must round to zero at this scale");
+    }
+
+    #[test]
+    fn residual_norm_reports_state() {
+        let comms = CommWorld::new(1);
+        let mut state = CompressedAllReduce::new();
+        assert_eq!(state.residual_norm(), 0.0);
+        let mut data = vec![0.004, 1.0];
+        state.allreduce_mean(&comms[0], &mut data);
+        assert!(state.residual_norm() > 0.0);
+    }
+
+    #[test]
+    fn wire_bytes_quarter_of_f32() {
+        let comms = CommWorld::new(1);
+        let mut state = CompressedAllReduce::new();
+        let mut data = vec![1.0f32; 1000];
+        let bytes = state.allreduce_mean(&comms[0], &mut data);
+        assert_eq!(bytes, 1004);
+        assert!(bytes * 3 < 1000 * 4);
+    }
+}

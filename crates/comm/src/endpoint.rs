@@ -1,0 +1,101 @@
+//! Endpoint-style asynchronous PS exchanges.
+//!
+//! MLSL uses *endpoints* — proxy threads/processes that drive
+//! communication on behalf of an MPI rank so network transfers overlap
+//! with compute (Sec. III-D). Our PS servers are already independent
+//! threads; this module provides the client-side handle that makes the
+//! overlap explicit: a root node *posts* its per-layer gradient exchange
+//! and keeps computing, collecting the fresh model when it actually
+//! needs it.
+
+use crate::ps::{PsBank, PsReply};
+use crossbeam::channel::Receiver;
+
+/// An in-flight fork-join exchange with a [`PsBank`].
+pub struct PendingExchange {
+    receivers: Vec<Receiver<PsReply>>,
+}
+
+impl PendingExchange {
+    /// Posts one gradient per block to the bank without blocking.
+    pub fn post(bank: &PsBank, grads: Vec<Vec<f32>>) -> Self {
+        assert_eq!(grads.len(), bank.len(), "block count mismatch");
+        let receivers = grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| bank.server(i).update_async(g))
+            .collect();
+        Self { receivers }
+    }
+
+    /// True when every block's reply has already arrived.
+    pub fn ready(&self) -> bool {
+        self.receivers.iter().all(|r| !r.is_empty())
+    }
+
+    /// Blocks until all replies arrive, returning them in block order.
+    pub fn wait(self) -> Vec<PsReply> {
+        self.receivers
+            .into_iter()
+            .map(|r| r.recv().expect("PS reply channel closed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ps::UpdateFn;
+
+    fn sgd(lr: f32) -> UpdateFn {
+        Box::new(move |p, g| {
+            for (pi, gi) in p.iter_mut().zip(g) {
+                *pi -= lr * gi;
+            }
+        })
+    }
+
+    #[test]
+    fn post_then_wait_returns_all_blocks() {
+        let bank = PsBank::spawn(vec![(vec![1.0], sgd(1.0)), (vec![2.0, 3.0], sgd(1.0))]);
+        let pending = PendingExchange::post(&bank, vec![vec![1.0], vec![1.0, 1.0]]);
+        let replies = pending.wait();
+        assert_eq!(replies[0].params, vec![0.0]);
+        assert_eq!(replies[1].params, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn overlap_with_compute() {
+        let bank = PsBank::spawn(vec![(vec![0.0], sgd(1.0))]);
+        let pending = PendingExchange::post(&bank, vec![vec![-1.0]]);
+        // Simulated compute while the exchange is in flight.
+        let mut acc = 0.0f64;
+        for i in 0..10_000 {
+            acc += (i as f64).sqrt();
+        }
+        assert!(acc > 0.0);
+        let replies = pending.wait();
+        assert_eq!(replies[0].params, vec![1.0]);
+    }
+
+    #[test]
+    fn ready_becomes_true_after_service() {
+        let bank = PsBank::spawn(vec![(vec![0.0], sgd(1.0))]);
+        let pending = PendingExchange::post(&bank, vec![vec![1.0]]);
+        // Eventually the server replies.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !pending.ready() {
+            assert!(std::time::Instant::now() < deadline, "PS never replied");
+            std::thread::yield_now();
+        }
+        assert!(pending.ready());
+        pending.wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn rejects_wrong_block_count() {
+        let bank = PsBank::spawn(vec![(vec![0.0], sgd(1.0))]);
+        let _ = PendingExchange::post(&bank, vec![]);
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! # scidl-comm
+//!
+//! Thread-backed replacement for Intel MLSL (Sec. III-D/E): the
+//! communication primitives the distributed training engines are built
+//! on, with *real* concurrency so the correctness properties (gradient
+//! equivalence of all-reduce, FIFO update application and staleness
+//! semantics at the parameter server) hold by construction rather than by
+//! simulation.
+//!
+//! * [`world`] — [`CommWorld`]/[`Communicator`]: rank/size handles over a
+//!   shared-memory "fabric", with `split` into disjoint communication
+//!   groups (our analogue of the MLSL extension the paper wrote to place
+//!   nodes into disjoint groups, Sec. III-E(b)).
+//! * [`allreduce`] — two all-reduce algorithms: a shared-accumulator tree
+//!   and a true ring reduce-scatter/all-gather over per-rank mailboxes
+//!   (what MLSL runs on the Aries network); both produce the exact mean
+//!   of the contributions.
+//! * [`ps`] — per-layer parameter servers (Sec. III-E(c)): each trainable
+//!   block gets a dedicated server thread owning that shard of the model,
+//!   applying updates in arrival order and returning the fresh shard;
+//!   versions are tracked so staleness is measurable.
+//! * [`endpoint`] — asynchronous send handles mirroring MLSL's endpoint
+//!   proxy threads: a root node posts its PS exchange and overlaps it
+//!   with the next iteration's compute.
+
+//! * [`compress`] — the Sec. VIII-B optimisation: 8-bit quantised
+//!   all-reduce with error feedback ("communicating high-order bits of
+//!   weight updates").
+//!
+//! ## Example
+//!
+//! ```
+//! use scidl_comm::CommWorld;
+//!
+//! let handles: Vec<_> = CommWorld::new(3)
+//!     .into_iter()
+//!     .map(|comm| {
+//!         std::thread::spawn(move || {
+//!             let mut grad = vec![comm.rank() as f32; 4];
+//!             comm.allreduce_mean(&mut grad);
+//!             grad[0]
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     assert_eq!(h.join().unwrap(), 1.0); // mean of 0, 1, 2
+//! }
+//! ```
+
+pub mod allreduce;
+pub mod compress;
+pub mod endpoint;
+pub mod ps;
+pub mod world;
+
+pub use allreduce::{ring_allreduce_mean, RingFabric};
+pub use compress::CompressedAllReduce;
+pub use endpoint::PendingExchange;
+pub use ps::{PsBank, PsReply, PsServer};
+pub use world::{CommWorld, Communicator};

@@ -1,0 +1,278 @@
+//! Per-layer parameter servers (Sec. III-E(c)).
+//!
+//! Each trainable parameter block gets a dedicated server thread that
+//! owns that shard of the model. Compute groups send gradient updates;
+//! the server applies them *in arrival order* with its own solver state
+//! and replies with the fresh shard plus a version counter, making
+//! staleness directly measurable (`version_at_apply − version_sent_with`).
+//!
+//! The update rule is injected as a boxed closure so the same server
+//! runs SGD-with-momentum, ADAM, or anything else the engines configure —
+//! the server does not depend on `scidl-nn`.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Update rule applied by a PS: `(params, grad)` in, params mutated.
+pub type UpdateFn = Box<dyn FnMut(&mut [f32], &[f32]) + Send>;
+
+/// Reply to an update or fetch.
+#[derive(Clone, Debug)]
+pub struct PsReply {
+    /// Fresh parameter shard after the update.
+    pub params: Vec<f32>,
+    /// Server version after applying (number of updates ever applied).
+    pub version: u64,
+}
+
+enum PsRequest {
+    Update { grad: Vec<f32>, reply: Sender<PsReply> },
+    Fetch { reply: Sender<PsReply> },
+    Shutdown,
+}
+
+/// Handle to one parameter-server thread owning one parameter block.
+pub struct PsServer {
+    tx: Sender<PsRequest>,
+    handle: Option<JoinHandle<u64>>,
+}
+
+impl PsServer {
+    /// Spawns a server owning `params`, applying `update` to each
+    /// arriving gradient.
+    pub fn spawn(params: Vec<f32>, mut update: UpdateFn) -> Self {
+        let (tx, rx): (Sender<PsRequest>, Receiver<PsRequest>) = unbounded();
+        let handle = std::thread::spawn(move || {
+            let mut params = params;
+            let mut version: u64 = 0;
+            while let Ok(req) = rx.recv() {
+                match req {
+                    PsRequest::Update { grad, reply } => {
+                        assert_eq!(grad.len(), params.len(), "PS gradient length mismatch");
+                        update(&mut params, &grad);
+                        version += 1;
+                        // The requester may have gone away; ignore send
+                        // failures (a dead group, Sec. VIII-A).
+                        let _ = reply.send(PsReply { params: params.clone(), version });
+                    }
+                    PsRequest::Fetch { reply } => {
+                        let _ = reply.send(PsReply { params: params.clone(), version });
+                    }
+                    PsRequest::Shutdown => break,
+                }
+            }
+            version
+        });
+        Self { tx, handle: Some(handle) }
+    }
+
+    /// Sends a gradient and blocks for the fresh parameters.
+    pub fn update(&self, grad: Vec<f32>) -> PsReply {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(PsRequest::Update { grad, reply: rtx })
+            .expect("PS thread gone");
+        rrx.recv().expect("PS reply channel closed")
+    }
+
+    /// Sends a gradient without blocking; the reply arrives on the
+    /// returned receiver (used by the endpoint overlap path).
+    pub fn update_async(&self, grad: Vec<f32>) -> Receiver<PsReply> {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(PsRequest::Update { grad, reply: rtx })
+            .expect("PS thread gone");
+        rrx
+    }
+
+    /// Fetches the current parameters without updating.
+    pub fn fetch(&self) -> PsReply {
+        let (rtx, rrx) = bounded(1);
+        self.tx.send(PsRequest::Fetch { reply: rtx }).expect("PS thread gone");
+        rrx.recv().expect("PS reply channel closed")
+    }
+
+    /// Stops the server, returning the total number of updates applied.
+    pub fn shutdown(mut self) -> u64 {
+        let _ = self.tx.send(PsRequest::Shutdown);
+        self.handle
+            .take()
+            .expect("already shut down")
+            .join()
+            .expect("PS thread panicked")
+    }
+}
+
+impl Drop for PsServer {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.tx.send(PsRequest::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A bank of per-block parameter servers — one per trainable layer block,
+/// the paper's design for avoiding PS saturation (Fig. 4).
+pub struct PsBank {
+    servers: Vec<PsServer>,
+}
+
+impl PsBank {
+    /// Spawns one server per `(initial params, update rule)` pair.
+    pub fn spawn(blocks: Vec<(Vec<f32>, UpdateFn)>) -> Self {
+        Self {
+            servers: blocks
+                .into_iter()
+                .map(|(p, u)| PsServer::spawn(p, u))
+                .collect(),
+        }
+    }
+
+    /// Number of servers (= parameter blocks).
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Access to an individual server.
+    pub fn server(&self, idx: usize) -> &PsServer {
+        &self.servers[idx]
+    }
+
+    /// Synchronous update of every block; returns per-block replies.
+    pub fn update_all(&self, grads: Vec<Vec<f32>>) -> Vec<PsReply> {
+        assert_eq!(grads.len(), self.servers.len(), "block count mismatch");
+        // Post everything first (the per-layer parallelism of Fig. 4),
+        // then collect.
+        let pending: Vec<_> = self
+            .servers
+            .iter()
+            .zip(grads)
+            .map(|(s, g)| s.update_async(g))
+            .collect();
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().expect("PS reply channel closed"))
+            .collect()
+    }
+
+    /// Fetches every block's current parameters.
+    pub fn fetch_all(&self) -> Vec<PsReply> {
+        self.servers.iter().map(|s| s.fetch()).collect()
+    }
+
+    /// Shuts every server down, returning per-server update counts.
+    pub fn shutdown(self) -> Vec<u64> {
+        self.servers.into_iter().map(|s| s.shutdown()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn sgd(lr: f32) -> UpdateFn {
+        Box::new(move |p, g| {
+            for (pi, gi) in p.iter_mut().zip(g) {
+                *pi -= lr * gi;
+            }
+        })
+    }
+
+    #[test]
+    fn update_applies_rule_and_bumps_version() {
+        let ps = PsServer::spawn(vec![1.0, 2.0], sgd(0.5));
+        let r = ps.update(vec![2.0, 2.0]);
+        assert_eq!(r.params, vec![0.0, 1.0]);
+        assert_eq!(r.version, 1);
+        let r2 = ps.update(vec![0.0, 2.0]);
+        assert_eq!(r2.params, vec![0.0, 0.0]);
+        assert_eq!(r2.version, 2);
+        assert_eq!(ps.shutdown(), 2);
+    }
+
+    #[test]
+    fn fetch_does_not_bump_version() {
+        let ps = PsServer::spawn(vec![5.0], sgd(1.0));
+        assert_eq!(ps.fetch().version, 0);
+        ps.update(vec![1.0]);
+        let f = ps.fetch();
+        assert_eq!(f.version, 1);
+        assert_eq!(f.params, vec![4.0]);
+    }
+
+    #[test]
+    fn updates_from_concurrent_groups_all_apply() {
+        let ps = PsServer::spawn(vec![0.0], sgd(1.0));
+        let ps = std::sync::Arc::new(ps);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let ps = std::sync::Arc::clone(&ps);
+                thread::spawn(move || {
+                    for _ in 0..50 {
+                        ps.update(vec![-1.0]); // param += 1 each update
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let f = ps.fetch();
+        assert_eq!(f.version, 400);
+        assert_eq!(f.params, vec![400.0]);
+    }
+
+    #[test]
+    fn versions_measure_staleness() {
+        let ps = PsServer::spawn(vec![0.0], sgd(1.0));
+        let v0 = ps.fetch().version;
+        // Another "group" applies 3 updates behind our back.
+        for _ in 0..3 {
+            ps.update(vec![0.0]);
+        }
+        let r = ps.update(vec![0.0]);
+        // Our update was computed against v0 but applied at r.version;
+        // staleness = (version before our apply) − v0.
+        let staleness = r.version - 1 - v0;
+        assert_eq!(staleness, 3);
+    }
+
+    #[test]
+    fn bank_updates_blocks_independently() {
+        let bank = PsBank::spawn(vec![
+            (vec![1.0], sgd(1.0)),
+            (vec![10.0, 20.0], sgd(0.1)),
+        ]);
+        assert_eq!(bank.len(), 2);
+        let replies = bank.update_all(vec![vec![1.0], vec![10.0, 10.0]]);
+        assert_eq!(replies[0].params, vec![0.0]);
+        assert_eq!(replies[1].params, vec![9.0, 19.0]);
+        let counts = bank.shutdown();
+        assert_eq!(counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn async_update_overlaps() {
+        let ps = PsServer::spawn(vec![0.0], sgd(1.0));
+        let rx = ps.update_async(vec![-5.0]);
+        // Do "compute" here, then collect.
+        let r = rx.recv().unwrap();
+        assert_eq!(r.params, vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "PS reply channel closed")]
+    fn rejects_wrong_gradient_length() {
+        let ps = PsServer::spawn(vec![0.0, 0.0], sgd(1.0));
+        // The length assert panics on the server thread, which closes the
+        // reply channel; the client observes that as a closed channel.
+        ps.update(vec![1.0]);
+    }
+}

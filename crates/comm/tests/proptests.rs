@@ -1,0 +1,144 @@
+//! Property-based tests for the communication layer: collective
+//! correctness over arbitrary rank counts, buffer lengths and contents.
+
+use proptest::prelude::*;
+use scidl_comm::ps::UpdateFn;
+use scidl_comm::{ring_allreduce_mean, CommWorld, PsBank, RingFabric};
+use std::thread;
+
+fn expected_mean(contribs: &[Vec<f32>]) -> Vec<f32> {
+    let n = contribs.len();
+    let len = contribs[0].len();
+    (0..len)
+        .map(|i| contribs.iter().map(|c| c[i]).sum::<f32>() / n as f32)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tree all-reduce computes the exact mean for arbitrary inputs and
+    /// every rank observes the same result.
+    #[test]
+    fn tree_allreduce_mean_correct(
+        n in 1usize..7,
+        len in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as i32 % 1000) as f32 / 100.0
+        };
+        let contribs: Vec<Vec<f32>> = (0..n).map(|_| (0..len).map(|_| next()).collect()).collect();
+        let want = expected_mean(&contribs);
+
+        let comms = CommWorld::new(n);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .zip(contribs)
+            .map(|(c, mut data)| {
+                thread::spawn(move || {
+                    c.allreduce_mean(&mut data);
+                    data
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results {
+            for (a, b) in r.iter().zip(&want) {
+                prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Ring all-reduce agrees with the mean for arbitrary n/len,
+    /// including len < n (empty chunks).
+    #[test]
+    fn ring_allreduce_mean_correct(
+        n in 1usize..7,
+        len in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed ^ 0xDEAD;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as i32 % 1000) as f32 / 100.0
+        };
+        let contribs: Vec<Vec<f32>> = (0..n).map(|_| (0..len).map(|_| next()).collect()).collect();
+        let want = expected_mean(&contribs);
+
+        let endpoints = RingFabric::new(n).into_endpoints();
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .zip(contribs)
+            .map(|((rank, (tx, rx)), mut data)| {
+                thread::spawn(move || {
+                    ring_allreduce_mean(rank, n, &mut data, &tx, &rx);
+                    data
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results {
+            for (a, b) in r.iter().zip(&want) {
+                prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// The PS applies every update exactly once: after `k` concurrent
+    /// decrement-updates of −1 each, the parameter equals `k` and the
+    /// version equals `k`.
+    #[test]
+    fn ps_applies_every_update(threads in 1usize..6, per in 1usize..20) {
+        let bank = PsBank::spawn(vec![(
+            vec![0.0f32],
+            Box::new(|p: &mut [f32], g: &[f32]| p[0] -= g[0]) as UpdateFn,
+        )]);
+        let bank = std::sync::Arc::new(bank);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let bank = std::sync::Arc::clone(&bank);
+                thread::spawn(move || {
+                    for _ in 0..per {
+                        bank.server(0).update(vec![-1.0]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let f = bank.server(0).fetch();
+        prop_assert_eq!(f.version, (threads * per) as u64);
+        prop_assert_eq!(f.params[0], (threads * per) as f32);
+    }
+
+    /// Broadcast delivers the root's data to every rank for any root.
+    #[test]
+    fn broadcast_from_any_root(n in 1usize..6, root_pick in any::<usize>(), len in 1usize..20) {
+        let root = root_pick % n;
+        let comms = CommWorld::new(n);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, c)| {
+                thread::spawn(move || {
+                    let mut data = if rank == root {
+                        (0..len).map(|i| (i * 3 + 1) as f32).collect::<Vec<_>>()
+                    } else {
+                        vec![0.0; len]
+                    };
+                    c.broadcast(root, &mut data);
+                    data
+                })
+            })
+            .collect();
+        let want: Vec<f32> = (0..len).map(|i| (i * 3 + 1) as f32).collect();
+        for h in handles {
+            prop_assert_eq!(h.join().unwrap(), want.clone());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Time-to-train study (Fig. 8): training loss vs wall-clock for a fixed
+//! total batch, comparing the synchronous configuration against hybrid
+//! runs with 2, 4 and 8 groups, with momentum tuned per asynchrony level.
+//!
+//! Real gradients on a scaled-down HEP problem; simulated wall-clock from
+//! the calibrated Cori models (see `SimEngine`). The paper's readout:
+//! the best hybrid reaches the target loss ≈1.66× faster than the best
+//! synchronous run; the worst synchronous run is many times slower.
+
+use crate::metrics::LossCurve;
+use crate::sim_engine::{SimEngine, SimEngineConfig, SolverKind};
+use crate::workloads::hep_workload;
+use scidl_data::{HepConfig, HepDataset};
+use scidl_tensor::TensorRng;
+
+/// One run of the Fig. 8 study.
+#[derive(Debug)]
+pub struct Fig8Run {
+    /// Label, e.g. `"sync (best)"` or `"hybrid-4"`.
+    pub label: String,
+    /// Group count.
+    pub groups: usize,
+    /// Loss trajectory over simulated seconds.
+    pub curve: LossCurve,
+    /// Simulated seconds to reach the target loss (smoothed), if reached.
+    pub time_to_target: Option<f64>,
+    /// Mean staleness.
+    pub staleness: f64,
+}
+
+/// The complete Fig. 8 result.
+#[derive(Debug)]
+pub struct Fig8Result {
+    /// All runs.
+    pub runs: Vec<Fig8Run>,
+    /// The target loss used for the time-to-train readout.
+    pub target_loss: f32,
+    /// Speedup of the best hybrid over the best sync run (paper: ≈1.66×).
+    pub best_hybrid_speedup: Option<f64>,
+}
+
+/// Study scale knobs (the defaults regenerate the figure; tests shrink).
+#[derive(Clone, Debug)]
+pub struct Fig8Scale {
+    /// Virtual nodes (paper: 1024).
+    pub nodes: usize,
+    /// Total batch across the system (paper: 1024).
+    pub total_batch: usize,
+    /// Iterations per group for the synchronous run; hybrid runs get
+    /// `iterations × groups / 1` scaled so every configuration sees the
+    /// same number of *updates*.
+    pub sync_iterations: usize,
+    /// Training events in the scaled-down dataset.
+    pub dataset_events: usize,
+    /// Smoothing window for the time-to-target readout.
+    pub smooth_window: usize,
+}
+
+impl Default for Fig8Scale {
+    fn default() -> Self {
+        Self {
+            nodes: 1024,
+            total_batch: 1024,
+            sync_iterations: 150,
+            dataset_events: 4096,
+            smooth_window: 8,
+        }
+    }
+}
+
+/// Runs the Fig. 8 study. `seed` controls data and jitter; the sync
+/// configuration is run with two jitter seeds to produce the paper's
+/// best/worst pair.
+pub fn fig8(scale: &Fig8Scale, seed: u64) -> Fig8Result {
+    let ds = HepDataset::generate(HepConfig::small(), scale.dataset_events, seed);
+    let timing = hep_workload();
+
+    let mut runs: Vec<Fig8Run> = Vec::new();
+
+    let make_cfg = |groups: usize, jitter_seed: u64| {
+        let mut cfg = SimEngineConfig::fig8(scale.nodes, groups, scale.total_batch, timing.clone());
+        // Same number of model updates for every configuration.
+        cfg.iterations = scale.sync_iterations / groups;
+        cfg.lr = 1e-3;
+        cfg.solver = SolverKind::Adam;
+        cfg.seed = seed ^ jitter_seed;
+        cfg
+    };
+
+    // Synchronous: best and worst of two seeds (the paper reports best
+    // and worst of 3 runs of the same hyper-parameters).
+    for (label, jseed) in [("sync (a)", 1u64), ("sync (b)", 2u64)] {
+        let cfg = make_cfg(1, jseed);
+        let mut rng = TensorRng::new(seed ^ 0xA11);
+        let mut model = scidl_nn::arch::hep_small(&mut rng);
+        let r = SimEngine::run(&cfg, &mut model, &ds);
+        runs.push(Fig8Run {
+            label: label.into(),
+            groups: 1,
+            curve: r.curve,
+            time_to_target: None,
+            staleness: r.mean_staleness,
+        });
+    }
+
+    for groups in [2usize, 4, 8] {
+        let cfg = make_cfg(groups, 3);
+        let mut rng = TensorRng::new(seed ^ 0xA11);
+        let mut model = scidl_nn::arch::hep_small(&mut rng);
+        let r = SimEngine::run(&cfg, &mut model, &ds);
+        runs.push(Fig8Run {
+            label: format!("hybrid-{groups}"),
+            groups,
+            curve: r.curve,
+            time_to_target: None,
+            staleness: r.mean_staleness,
+        });
+    }
+
+    // Target: a loss all healthy runs eventually reach — the median of
+    // the runs' best smoothed losses, relaxed by 10%.
+    let bests: Vec<f32> = runs
+        .iter()
+        .filter_map(|r| r.curve.best_smoothed(scale.smooth_window))
+        .collect();
+    let mut sorted = bests.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let target_loss = sorted[sorted.len() / 2] * 1.1;
+
+    for r in &mut runs {
+        r.time_to_target = r.curve.time_to_loss(target_loss, scale.smooth_window);
+    }
+
+    let best_sync = runs
+        .iter()
+        .filter(|r| r.groups == 1)
+        .filter_map(|r| r.time_to_target)
+        .fold(None::<f64>, |acc, t| Some(acc.map_or(t, |a| a.min(t))));
+    let best_hybrid = runs
+        .iter()
+        .filter(|r| r.groups > 1)
+        .filter_map(|r| r.time_to_target)
+        .fold(None::<f64>, |acc, t| Some(acc.map_or(t, |a| a.min(t))));
+
+    let best_hybrid_speedup = match (best_sync, best_hybrid) {
+        (Some(s), Some(h)) if h > 0.0 => Some(s / h),
+        _ => None,
+    };
+
+    Fig8Result { runs, target_loss, best_hybrid_speedup }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Fig8Scale {
+        Fig8Scale {
+            nodes: 64,
+            total_batch: 64,
+            sync_iterations: 24,
+            dataset_events: 256,
+            smooth_window: 4,
+        }
+    }
+
+    #[test]
+    fn fig8_produces_all_five_runs() {
+        let r = fig8(&tiny_scale(), 5);
+        assert_eq!(r.runs.len(), 5);
+        let labels: Vec<&str> = r.runs.iter().map(|x| x.label.as_str()).collect();
+        assert!(labels.contains(&"sync (a)"));
+        assert!(labels.contains(&"hybrid-8"));
+    }
+
+    #[test]
+    fn hybrid_runs_carry_staleness() {
+        let r = fig8(&tiny_scale(), 7);
+        for run in &r.runs {
+            if run.groups == 1 {
+                assert_eq!(run.staleness, 0.0, "{}", run.label);
+            } else {
+                assert!(run.staleness > 0.0, "{}", run.label);
+            }
+        }
+    }
+
+    #[test]
+    fn all_configs_see_same_update_count() {
+        let scale = tiny_scale();
+        let r = fig8(&scale, 9);
+        for run in &r.runs {
+            let expect = (scale.sync_iterations / run.groups) * run.groups;
+            assert_eq!(run.curve.len(), expect, "{}", run.label);
+        }
+    }
+
+    #[test]
+    fn losses_fall_over_each_run() {
+        let r = fig8(&tiny_scale(), 11);
+        for run in &r.runs {
+            let pts = &run.curve.points;
+            let head: f32 = pts[..4].iter().map(|p| p.1).sum::<f32>() / 4.0;
+            let tail: f32 = pts[pts.len() - 4..].iter().map(|p| p.1).sum::<f32>() / 4.0;
+            assert!(
+                tail < head * 1.05,
+                "{}: loss should not grow: {head} → {tail}",
+                run.label
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! One driver per table/figure of the paper (see DESIGN.md's
+//! per-experiment index). The `scidl-bench` binaries are thin wrappers
+//! that print these results as the paper's rows/series.
+
+pub mod ablations;
+pub mod convergence;
+pub mod scaling;
+pub mod science;
+
+pub use ablations::{
+    arch_ablation, compression_ablation, momentum_ablation, placement_ablation, ps_ablation,
+    resilience,
+};
+pub use convergence::{fig8, Fig8Result};
+pub use scaling::{
+    full_system, strong_scaling, weak_scaling, FullSystemResult, ScalingRow,
+};
+pub use science::{
+    climate_distributed, climate_science, hep_science, ClimateDistributedResult,
+    ClimateScienceResult, HepScienceResult,
+};

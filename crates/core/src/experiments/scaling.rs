@@ -1,0 +1,191 @@
+//! Scaling studies (Figs. 6–7) and full-system throughput (Sec. VI-B3),
+//! run on the calibrated cluster simulator.
+
+use scidl_cluster::sim::{ClusterSim, SimConfig, Workload};
+
+/// One point of a scaling curve.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Compute nodes.
+    pub nodes: usize,
+    /// Compute groups (1 = synchronous).
+    pub groups: usize,
+    /// Throughput in images/second.
+    pub images_per_sec: f64,
+    /// Speedup over the single-node baseline of the same study.
+    pub speedup: f64,
+    /// Mean update staleness.
+    pub staleness: f64,
+}
+
+fn run_config(workload: &Workload, nodes: usize, groups: usize, batch_per_group: usize, iterations: usize, seed: u64) -> f64 {
+    let mut cfg = SimConfig::new(workload.clone(), nodes, groups, batch_per_group);
+    cfg.iterations = iterations;
+    cfg.seed = seed;
+    ClusterSim::new(cfg).run().images_per_sec()
+}
+
+/// Strong scaling (Fig. 6): fixed batch of `batch` per synchronous
+/// group; the hybrid configurations assign each group a complete batch.
+/// Returns one row per `(nodes, groups)` combination, with speedups
+/// relative to a single-node run at the same batch.
+pub fn strong_scaling(
+    workload: &Workload,
+    node_counts: &[usize],
+    group_counts: &[usize],
+    batch: usize,
+    iterations: usize,
+    seed: u64,
+) -> Vec<ScalingRow> {
+    let base_ips = run_config(workload, 1, 1, batch, iterations, seed);
+    let mut rows = Vec::new();
+    for &groups in group_counts {
+        for &nodes in node_counts {
+            if nodes < groups {
+                continue;
+            }
+            let mut cfg = SimConfig::new(workload.clone(), nodes, groups, batch);
+            cfg.iterations = iterations;
+            cfg.seed = seed ^ (nodes as u64) << 8 ^ groups as u64;
+            let r = ClusterSim::new(cfg).run();
+            rows.push(ScalingRow {
+                nodes,
+                groups,
+                images_per_sec: r.images_per_sec(),
+                speedup: r.images_per_sec() / base_ips,
+                staleness: r.mean_staleness,
+            });
+        }
+    }
+    rows
+}
+
+/// Weak scaling (Fig. 7): fixed batch per node (8 in the paper).
+pub fn weak_scaling(
+    workload: &Workload,
+    node_counts: &[usize],
+    group_counts: &[usize],
+    batch_per_node: usize,
+    iterations: usize,
+    seed: u64,
+) -> Vec<ScalingRow> {
+    let base_ips = run_config(workload, 1, 1, batch_per_node, iterations, seed);
+    let mut rows = Vec::new();
+    for &groups in group_counts {
+        for &nodes in node_counts {
+            if nodes < groups {
+                continue;
+            }
+            let per_group_nodes = nodes / groups;
+            let batch_per_group = batch_per_node * per_group_nodes;
+            let mut cfg = SimConfig::new(workload.clone(), nodes, groups, batch_per_group);
+            cfg.iterations = iterations;
+            cfg.seed = seed ^ (nodes as u64) << 8 ^ groups as u64;
+            let r = ClusterSim::new(cfg).run();
+            rows.push(ScalingRow {
+                nodes,
+                groups,
+                images_per_sec: r.images_per_sec(),
+                speedup: r.images_per_sec() / base_ips,
+                staleness: r.mean_staleness,
+            });
+        }
+    }
+    rows
+}
+
+/// Full-system throughput (Sec. VI-B3).
+#[derive(Clone, Debug)]
+pub struct FullSystemResult {
+    /// Peak system FLOP rate (PFLOP/s).
+    pub peak_pflops: f64,
+    /// Sustained system FLOP rate (PFLOP/s).
+    pub sustained_pflops: f64,
+    /// Speedup of sustained throughput over one node.
+    pub speedup_vs_single: f64,
+    /// Mean iteration seconds per group.
+    pub mean_iter_secs: f64,
+    /// Mean staleness.
+    pub staleness: f64,
+}
+
+/// Runs the paper's full-system configuration: `nodes` compute nodes in
+/// `groups` groups with `batch_per_group`, checkpointing every
+/// `checkpoint_every` iterations (the climate number includes a snapshot
+/// every 10 iterations).
+pub fn full_system(
+    workload: &Workload,
+    nodes: usize,
+    groups: usize,
+    batch_per_group: usize,
+    iterations: usize,
+    checkpoint_every: usize,
+    seed: u64,
+) -> FullSystemResult {
+    let mut cfg = SimConfig::new(workload.clone(), nodes, groups, batch_per_group);
+    cfg.iterations = iterations;
+    cfg.checkpoint_every = checkpoint_every;
+    cfg.seed = seed;
+    let r = ClusterSim::new(cfg).run();
+
+    // Single-node baseline rate for the speedup quote (6173x / 7205x in
+    // the paper).
+    let single = {
+        let mut c = SimConfig::new(workload.clone(), 1, 1, 8);
+        c.iterations = iterations.min(10);
+        c.seed = seed;
+        ClusterSim::new(c).run()
+    };
+
+    let all_iters: Vec<f64> = r.iter_times.iter().flatten().copied().collect();
+    let mean_iter = all_iters.iter().sum::<f64>() / all_iters.len().max(1) as f64;
+
+    FullSystemResult {
+        peak_pflops: r.peak_rate / 1e15,
+        sustained_pflops: r.sustained_rate / 1e15,
+        speedup_vs_single: r.sustained_rate / single.average_rate(),
+        mean_iter_secs: mean_iter,
+        staleness: r.mean_staleness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::hep_workload;
+
+    #[test]
+    fn strong_scaling_rows_cover_grid() {
+        let rows = strong_scaling(&hep_workload(), &[1, 16, 64], &[1, 2], 256, 6, 3);
+        // groups=2 is skipped at nodes=1.
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.speedup > 0.0));
+    }
+
+    #[test]
+    fn single_node_speedup_is_one() {
+        let rows = strong_scaling(&hep_workload(), &[1], &[1], 64, 6, 3);
+        assert!((rows[0].speedup - 1.0).abs() < 0.25, "speedup {}", rows[0].speedup);
+    }
+
+    #[test]
+    fn weak_scaling_grows_with_nodes() {
+        let rows = weak_scaling(&hep_workload(), &[1, 16, 64], &[1], 8, 20, 5);
+        assert!(rows[1].speedup > 8.0, "16 nodes: {}", rows[1].speedup);
+        assert!(
+            rows[2].speedup > rows[1].speedup * 2.0,
+            "64 nodes {} vs 16 nodes {}",
+            rows[2].speedup,
+            rows[1].speedup
+        );
+    }
+
+    #[test]
+    fn full_system_reports_positive_rates() {
+        let r = full_system(&hep_workload(), 256, 4, 512, 8, 0, 7);
+        assert!(r.peak_pflops > 0.0);
+        assert!(r.sustained_pflops > 0.0);
+        assert!(r.peak_pflops >= r.sustained_pflops * 0.8);
+        assert!(r.speedup_vs_single > 32.0);
+    }
+}

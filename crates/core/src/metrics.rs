@@ -1,0 +1,147 @@
+//! Training-run metrics: loss curves over (simulated or real) time, the
+//! time-to-loss readout of Fig. 8, and speedup tables.
+
+/// A loss trajectory over time.
+#[derive(Clone, Debug, Default)]
+pub struct LossCurve {
+    /// `(seconds, loss)` samples in nondecreasing time order.
+    pub points: Vec<(f64, f32)>,
+}
+
+impl LossCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample; time must not go backwards.
+    pub fn push(&mut self, time: f64, loss: f32) {
+        if let Some(&(t, _)) = self.points.last() {
+            assert!(time >= t, "loss curve time went backwards: {time} < {t}");
+        }
+        self.points.push((time, loss));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the curve has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Final loss value, if any.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.points.last().map(|&(_, l)| l)
+    }
+
+    /// First time at which a *smoothed* loss (trailing window of
+    /// `window` samples) reaches `target`. This is the paper's Fig. 8
+    /// readout: "wall-clock time speedups with respect to a loss of
+    /// 0.05". Returns `None` when the target is never reached.
+    pub fn time_to_loss(&self, target: f32, window: usize) -> Option<f64> {
+        let w = window.max(1);
+        let mut sum = 0.0f64;
+        let mut buf: std::collections::VecDeque<f32> = Default::default();
+        for &(t, l) in &self.points {
+            buf.push_back(l);
+            sum += l as f64;
+            if buf.len() > w {
+                sum -= buf.pop_front().unwrap() as f64;
+            }
+            if buf.len() == w && (sum / w as f64) <= target as f64 {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Minimum smoothed loss over the run.
+    pub fn best_smoothed(&self, window: usize) -> Option<f32> {
+        let w = window.max(1);
+        if self.points.len() < w {
+            return self.points.iter().map(|&(_, l)| l).fold(None, |acc: Option<f32>, l| {
+                Some(acc.map_or(l, |a| a.min(l)))
+            });
+        }
+        let losses: Vec<f32> = self.points.iter().map(|&(_, l)| l).collect();
+        losses
+            .windows(w)
+            .map(|win| win.iter().sum::<f32>() / w as f32)
+            .fold(None, |acc: Option<f32>, v| Some(acc.map_or(v, |a| a.min(v))))
+    }
+}
+
+/// Speedup of `fast` over `slow` in time-to-target terms; `None` when
+/// either never reaches the target.
+pub fn time_to_loss_speedup(
+    slow: &LossCurve,
+    fast: &LossCurve,
+    target: f32,
+    window: usize,
+) -> Option<f64> {
+    let ts = slow.time_to_loss(target, window)?;
+    let tf = fast.time_to_loss(target, window)?;
+    (tf > 0.0).then(|| ts / tf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(f64, f32)]) -> LossCurve {
+        let mut c = LossCurve::new();
+        for &(t, l) in points {
+            c.push(t, l);
+        }
+        c
+    }
+
+    #[test]
+    fn time_to_loss_finds_first_crossing() {
+        let c = curve(&[(0.0, 1.0), (1.0, 0.5), (2.0, 0.04), (3.0, 0.03)]);
+        assert_eq!(c.time_to_loss(0.05, 1), Some(2.0));
+        assert_eq!(c.time_to_loss(0.001, 1), None);
+    }
+
+    #[test]
+    fn smoothing_ignores_transient_dips() {
+        // A single noisy dip at t=1 must not count with window 3.
+        let c = curve(&[(0.0, 1.0), (1.0, 0.01), (2.0, 1.0), (3.0, 0.04), (4.0, 0.04), (5.0, 0.04)]);
+        assert_eq!(c.time_to_loss(0.05, 3), Some(5.0));
+        assert_eq!(c.time_to_loss(0.05, 1), Some(1.0));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let slow = curve(&[(0.0, 1.0), (10.0, 0.04)]);
+        let fast = curve(&[(0.0, 1.0), (5.0, 0.04)]);
+        assert_eq!(time_to_loss_speedup(&slow, &fast, 0.05, 1), Some(2.0));
+    }
+
+    #[test]
+    fn speedup_none_when_target_unreached() {
+        let slow = curve(&[(0.0, 1.0), (10.0, 0.5)]);
+        let fast = curve(&[(0.0, 1.0), (5.0, 0.04)]);
+        assert_eq!(time_to_loss_speedup(&slow, &fast, 0.05, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rejects_nonmonotone_time() {
+        let mut c = LossCurve::new();
+        c.push(1.0, 0.5);
+        c.push(0.5, 0.4);
+    }
+
+    #[test]
+    fn best_smoothed_handles_short_curves() {
+        let c = curve(&[(0.0, 0.8), (1.0, 0.6)]);
+        assert_eq!(c.best_smoothed(5), Some(0.6));
+        let c2 = curve(&[(0.0, 1.0), (1.0, 0.5), (2.0, 0.7), (3.0, 0.2)]);
+        // Window-2 means: (0.75, 0.6, 0.45) → min 0.45.
+        assert!((c2.best_smoothed(2).unwrap() - 0.45).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,292 @@
+//! Model parallelism.
+//!
+//! Sec. III-D: MLSL "enables different forms of parallelism — both data
+//! and model parallelism — to be applied to different layers of the
+//! network". The paper's networks are fully convolutional with tiny
+//! dense heads, so it uses data parallelism only; this module supplies
+//! the other form for completeness: a **column-parallel dense layer**
+//! whose output features are sharded across the ranks of a communicator.
+//! Forward all-gathers the output shards; backward all-reduces the
+//! partial input gradients — the standard tensor-parallel decomposition.
+
+use scidl_comm::Communicator;
+use scidl_nn::layer::ParamBlock;
+use scidl_tensor::{gemm, Shape4, Tensor, TensorRng, Transpose};
+
+/// A dense layer `y = W x + b` with `W`'s rows (output features) sharded
+/// over `size` ranks. All ranks construct the identical full weight from
+/// the shared seed and keep only their shard, so a sharded ensemble is
+/// numerically identical to the unsharded layer.
+pub struct ShardedDense {
+    rank: usize,
+    size: usize,
+    input: usize,
+    full_output: usize,
+    shard: usize,
+    /// This rank's weight shard `(shard, input)` and its gradient.
+    pub weight: ParamBlock,
+    /// This rank's bias shard and its gradient.
+    pub bias: ParamBlock,
+    cached_input: Option<Tensor>,
+}
+
+impl ShardedDense {
+    /// Creates rank `rank` of `size`'s shard. `full_output` must divide
+    /// evenly by `size`.
+    pub fn new(
+        name: &str,
+        input: usize,
+        full_output: usize,
+        rank: usize,
+        size: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(size >= 1 && rank < size, "invalid rank/size");
+        assert_eq!(full_output % size, 0, "output features must shard evenly");
+        let shard = full_output / size;
+        // Build the full weight deterministically, keep our row block.
+        let mut rng = TensorRng::new(seed);
+        let full_w = rng.he_tensor(Shape4::new(full_output, input, 1, 1), input);
+        let w_shard: Vec<f32> =
+            full_w.data()[rank * shard * input..(rank + 1) * shard * input].to_vec();
+        let weight = ParamBlock::new(
+            format!("{name}.weight[{rank}/{size}]"),
+            Tensor::from_vec(Shape4::new(shard, input, 1, 1), w_shard),
+        );
+        let bias = ParamBlock::new(
+            format!("{name}.bias[{rank}/{size}]"),
+            Tensor::zeros(Shape4::flat(shard)),
+        );
+        Self { rank, size, input, full_output, shard, weight, bias, cached_input: None }
+    }
+
+    /// Forward pass: computes the local output shard and all-gathers the
+    /// full `(n, full_output)` activation across the communicator.
+    pub fn forward(&mut self, x: &Tensor, comm: &Communicator) -> Tensor {
+        assert_eq!(comm.size(), self.size, "communicator size mismatch");
+        assert_eq!(x.shape().item_len(), self.input, "input width mismatch");
+        let n = x.shape().n;
+
+        // Local shard: y_s (n x shard) = x W_s^T + b_s.
+        let mut local = vec![0.0f32; n * self.shard];
+        gemm(
+            Transpose::No,
+            Transpose::Yes,
+            n,
+            self.shard,
+            self.input,
+            1.0,
+            x.data(),
+            self.weight.value.data(),
+            0.0,
+            &mut local,
+        );
+        for row in local.chunks_mut(self.shard) {
+            for (v, &b) in row.iter_mut().zip(self.bias.value.data()) {
+                *v += b;
+            }
+        }
+
+        // All-gather by summing disjoint placements (mean × size).
+        let mut full = vec![0.0f32; n * self.full_output];
+        for i in 0..n {
+            full[i * self.full_output + self.rank * self.shard
+                ..i * self.full_output + (self.rank + 1) * self.shard]
+                .copy_from_slice(&local[i * self.shard..(i + 1) * self.shard]);
+        }
+        comm.allreduce_mean(&mut full);
+        for v in &mut full {
+            *v *= self.size as f32;
+        }
+        self.cached_input = Some(x.clone());
+        Tensor::from_vec(Shape4::new(n, self.full_output, 1, 1), full)
+    }
+
+    /// Backward pass: consumes the full output gradient, accumulates this
+    /// shard's weight/bias gradients and returns the full input gradient
+    /// (all-reduced partial products).
+    pub fn backward(&mut self, dy: &Tensor, comm: &Communicator) -> Tensor {
+        let x = self.cached_input.take().expect("backward before forward");
+        let n = x.shape().n;
+        assert_eq!(dy.shape(), Shape4::new(n, self.full_output, 1, 1), "dy shape mismatch");
+
+        // Slice our output-feature columns.
+        let mut dy_s = vec![0.0f32; n * self.shard];
+        for i in 0..n {
+            dy_s[i * self.shard..(i + 1) * self.shard].copy_from_slice(
+                &dy.data()[i * self.full_output + self.rank * self.shard
+                    ..i * self.full_output + (self.rank + 1) * self.shard],
+            );
+        }
+
+        // dW_s += dy_s^T x ; db_s += column sums.
+        gemm(
+            Transpose::Yes,
+            Transpose::No,
+            self.shard,
+            self.input,
+            n,
+            1.0,
+            &dy_s,
+            x.data(),
+            1.0,
+            self.weight.grad.data_mut(),
+        );
+        for i in 0..n {
+            for (g, &d) in self
+                .bias
+                .grad
+                .data_mut()
+                .iter_mut()
+                .zip(&dy_s[i * self.shard..(i + 1) * self.shard])
+            {
+                *g += d;
+            }
+        }
+
+        // Partial dx = dy_s W_s ; the full dx is the sum over ranks.
+        let mut dx = vec![0.0f32; n * self.input];
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            n,
+            self.input,
+            self.shard,
+            1.0,
+            &dy_s,
+            self.weight.value.data(),
+            0.0,
+            &mut dx,
+        );
+        comm.allreduce_mean(&mut dx);
+        for v in &mut dx {
+            *v *= self.size as f32;
+        }
+        Tensor::from_vec(x.shape(), dx)
+    }
+
+    /// This rank's output-feature range.
+    pub fn shard_range(&self) -> std::ops::Range<usize> {
+        self.rank * self.shard..(self.rank + 1) * self.shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidl_comm::CommWorld;
+    use scidl_nn::{Dense, Layer};
+    use std::thread;
+
+    /// Reference: unsharded Dense with the same seed.
+    fn reference(input: usize, output: usize, seed: u64) -> Dense {
+        let mut rng = TensorRng::new(seed);
+        Dense::new("ref", input, output, &mut rng)
+    }
+
+    fn run_sharded(
+        size: usize,
+        input: usize,
+        output: usize,
+        seed: u64,
+        x: Tensor,
+        dy: Tensor,
+    ) -> (Tensor, Tensor, Vec<Vec<f32>>) {
+        let comms = CommWorld::new(size);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let x = x.clone();
+                let dy = dy.clone();
+                thread::spawn(move || {
+                    let mut layer = ShardedDense::new("mp", input, output, rank, size, seed);
+                    let y = layer.forward(&x, &comm);
+                    let dx = layer.backward(&dy, &comm);
+                    (rank, y, dx, layer.weight.grad.data().to_vec())
+                })
+            })
+            .collect();
+        let mut results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_by_key(|r| r.0);
+        let y = results[0].1.clone();
+        let dx = results[0].2.clone();
+        let wgrads = results.iter().map(|r| r.3.clone()).collect();
+        (y, dx, wgrads)
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_forward_and_backward() {
+        let (input, output, seed) = (6usize, 8usize, 0x77);
+        let mut rng = TensorRng::new(9);
+        let x = rng.uniform_tensor(Shape4::new(3, input, 1, 1), -1.0, 1.0);
+        let dy = rng.uniform_tensor(Shape4::new(3, output, 1, 1), -1.0, 1.0);
+
+        let mut dense = reference(input, output, seed);
+        let y_ref = dense.forward(&x);
+        let dx_ref = dense.backward(&dy);
+        let wgrad_ref = dense.params()[0].grad.data().to_vec();
+
+        for size in [1usize, 2, 4] {
+            let (y, dx, wgrads) = run_sharded(size, input, output, seed, x.clone(), dy.clone());
+            assert!(
+                y.max_abs_diff(&y_ref) < 1e-4,
+                "forward mismatch at size {size}: {}",
+                y.max_abs_diff(&y_ref)
+            );
+            assert!(
+                dx.max_abs_diff(&dx_ref) < 1e-4,
+                "backward mismatch at size {size}"
+            );
+            // Concatenated shard weight-gradients equal the full gradient.
+            let concat: Vec<f32> = wgrads.concat();
+            let max_err = concat
+                .iter()
+                .zip(&wgrad_ref)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_err < 1e-4, "weight grad mismatch at size {size}: {max_err}");
+        }
+    }
+
+    #[test]
+    fn every_rank_sees_the_same_full_activation() {
+        let (input, output, seed) = (4usize, 6usize, 0x13);
+        let mut rng = TensorRng::new(2);
+        let x = rng.uniform_tensor(Shape4::new(2, input, 1, 1), -1.0, 1.0);
+        let comms = CommWorld::new(3);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let x = x.clone();
+                thread::spawn(move || {
+                    let mut layer = ShardedDense::new("mp", input, output, rank, 3, seed);
+                    layer.forward(&x, &comm).into_vec()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn shard_ranges_partition_features() {
+        let mut covered = vec![false; 12];
+        for rank in 0..4 {
+            let l = ShardedDense::new("mp", 3, 12, rank, 4, 1);
+            for i in l.shard_range() {
+                assert!(!covered[i], "feature {i} double-covered");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard evenly")]
+    fn uneven_shard_rejected() {
+        let _ = ShardedDense::new("mp", 3, 10, 0, 4, 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! Deterministic simulated-time hybrid training.
+//!
+//! This backend reproduces the paper's *convergence* experiments
+//! (Fig. 8) at laptop scale: gradients and loss trajectories are computed
+//! for real on a scaled-down HEP problem, while iteration *durations*
+//! come from the calibrated Cori cost models — so a "1024-node" run takes
+//! seconds of host time but reports simulated wall-clock in the paper's
+//! regime, with genuine gradient staleness produced by the simulated
+//! event ordering.
+//!
+//! Semantics match the hybrid architecture exactly:
+//!
+//! * each group snapshots the central model when it *starts* an
+//!   iteration,
+//! * it computes a real gradient on its own shard/minibatch against that
+//!   snapshot,
+//! * the per-layer PS bank applies updates in simulated-arrival order —
+//!   by the time a group's update lands, other groups may have advanced
+//!   the model (staleness),
+//! * with `groups == 1` this degenerates to exact synchronous SGD.
+
+use crate::metrics::LossCurve;
+use crate::task::hep_gradient;
+use scidl_cluster::event::EventQueue;
+use scidl_cluster::sim::Workload;
+use scidl_cluster::{AriesModel, JitterModel, KnlModel};
+use scidl_data::{BatchSampler, HepDataset};
+use scidl_nn::network::{Model, Network};
+use scidl_nn::solver::asynchrony_adjusted_momentum;
+use scidl_nn::{Adam, Sgd, Solver};
+use scidl_tensor::TensorRng;
+
+/// Which solver the parameter servers run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SolverKind {
+    /// SGD with the given momentum.
+    Sgd {
+        /// Explicit momentum coefficient.
+        momentum: f32,
+    },
+    /// ADAM (the paper's HEP solver).
+    Adam,
+}
+
+/// Configuration of one simulated-time training run.
+#[derive(Clone, Debug)]
+pub struct SimEngineConfig {
+    /// Total virtual compute nodes.
+    pub nodes: usize,
+    /// Compute groups (1 = synchronous).
+    pub groups: usize,
+    /// Minibatch per group per update. Fig. 8 fixes the *total* batch, so
+    /// callers set `batch_per_group = total / groups`.
+    pub batch_per_group: usize,
+    /// Iterations per group.
+    pub iterations: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Solver kind.
+    pub solver: SolverKind,
+    /// When true, SGD momentum is reduced according to the implicit
+    /// asynchrony momentum of Mitliagkas et al. [31].
+    pub auto_momentum: bool,
+    /// Seed for data sampling and jitter.
+    pub seed: u64,
+    /// Timing workload (typically [`crate::workloads::hep_workload`] so
+    /// the simulated clock lives in the paper's regime).
+    pub timing: Workload,
+    /// Node model.
+    pub knl: KnlModel,
+    /// Interconnect model.
+    pub net: AriesModel,
+    /// Variability model.
+    pub jitter: JitterModel,
+}
+
+impl SimEngineConfig {
+    /// A Fig. 8-style configuration: `nodes` virtual nodes in `groups`
+    /// groups sharing a fixed total batch.
+    pub fn fig8(nodes: usize, groups: usize, total_batch: usize, timing: Workload) -> Self {
+        assert!(groups >= 1 && total_batch >= groups);
+        Self {
+            nodes,
+            groups,
+            batch_per_group: total_batch / groups,
+            iterations: 60,
+            lr: 1e-3,
+            solver: SolverKind::Adam,
+            auto_momentum: false,
+            seed: 0xF18,
+            timing,
+            knl: KnlModel::default(),
+            net: AriesModel::default(),
+            jitter: JitterModel::default(),
+        }
+    }
+
+    fn build_solver(&self) -> Box<dyn Solver> {
+        match self.solver {
+            SolverKind::Sgd { momentum } => {
+                let mu = if self.auto_momentum {
+                    asynchrony_adjusted_momentum(momentum, self.groups)
+                } else {
+                    momentum
+                };
+                Box::new(Sgd::new(self.lr, mu))
+            }
+            SolverKind::Adam => Box::new(Adam::new(self.lr)),
+        }
+    }
+}
+
+/// Result of one simulated-time run.
+#[derive(Debug)]
+pub struct SimRunSummary {
+    /// Training loss at every group update, in simulated-time order.
+    pub curve: LossCurve,
+    /// Per-group curves.
+    pub per_group: Vec<LossCurve>,
+    /// Mean gradient staleness in group-updates.
+    pub mean_staleness: f64,
+    /// Total simulated seconds.
+    pub total_time: f64,
+    /// Total group updates applied.
+    pub updates: usize,
+    /// The trained flat parameter vector.
+    pub final_params: Vec<f32>,
+}
+
+/// The simulated-time hybrid training engine.
+pub struct SimEngine;
+
+impl SimEngine {
+    /// Runs HEP classification training of `model` on `ds` under `cfg`.
+    /// The model is used as the initial point and is left holding the
+    /// final parameters.
+    pub fn run(cfg: &SimEngineConfig, model: &mut Network, ds: &HepDataset) -> SimRunSummary {
+        Self::run_with(cfg, model, ds.len(), |m, idx| hep_gradient(m, ds, idx))
+    }
+
+    /// Generic simulated-time hybrid training: works for any [`Model`]
+    /// and task. `grad_fn` computes `(loss, flat gradient)` for the given
+    /// sample indices against the model's current parameters — the
+    /// climate semi-supervised objective plugs in here just like the HEP
+    /// classifier.
+    pub fn run_with<M: Model>(
+        cfg: &SimEngineConfig,
+        model: &mut M,
+        dataset_len: usize,
+        mut grad_fn: impl FnMut(&mut M, &[usize]) -> (f32, Vec<f32>),
+    ) -> SimRunSummary {
+        assert!(cfg.groups >= 1 && cfg.nodes >= cfg.groups, "invalid group/node config");
+        let groups = cfg.groups;
+        let nodes_per_group = cfg.nodes / groups;
+        let hybrid = groups > 1;
+        let mut rng = TensorRng::new(cfg.seed ^ 0x51E6);
+
+        // Central model (the PS bank's contents, flattened) + block map.
+        let block_sizes: Vec<usize> = model.param_blocks().iter().map(|b| b.len()).collect();
+        let mut central = model.flat_params();
+        let mut solver = cfg.build_solver();
+
+        // Per-group state.
+        let mut group_params: Vec<Vec<f32>> = (0..groups).map(|_| central.clone()).collect();
+        let mut samplers: Vec<BatchSampler> = (0..groups)
+            .map(|g| BatchSampler::for_node(dataset_len, cfg.batch_per_group, cfg.seed, g, groups))
+            .collect();
+        let mut jrngs: Vec<TensorRng> = (0..groups).map(|g| rng.fork(g as u64 + 31)).collect();
+
+        // PS service bank timing (per-layer PS of Fig. 4); per-request
+        // byte/param shards are derived inside `group_duration`.
+        let num_ps = block_sizes.len().clamp(1, 16);
+        let mut ps_free = vec![0.0f64; num_ps];
+
+        let mut updates_applied: u64 = 0;
+        let mut group_seen = vec![0u64; groups];
+        let mut staleness_sum = 0.0f64;
+
+        let mut curve = LossCurve::new();
+        let mut per_group: Vec<LossCurve> = vec![LossCurve::new(); groups];
+
+        let mut queue: EventQueue<(usize, usize)> = EventQueue::new();
+        for (g, jrng) in jrngs.iter_mut().enumerate() {
+            let d = Self::group_duration(cfg, nodes_per_group, hybrid, &mut ps_free, 0.0, jrng);
+            queue.schedule(d, (g, 0));
+        }
+
+        let mut updates = 0usize;
+        while let Some((now, (g, iter))) = queue.pop() {
+            // Real gradient against the group's snapshot.
+            model.set_flat_params(&group_params[g]);
+            let indices = samplers[g].next_batch();
+            let (loss, grad) = grad_fn(model, &indices);
+
+            // PS applies the (possibly stale) update to the central model.
+            let mut off = 0;
+            for (idx, &len) in block_sizes.iter().enumerate() {
+                solver.step_block(idx, &mut central[off..off + len], &grad[off..off + len]);
+                off += len;
+            }
+            staleness_sum += (updates_applied - group_seen[g]) as f64;
+            updates_applied += 1;
+            group_seen[g] = updates_applied;
+            updates += 1;
+
+            curve.push(now, loss);
+            per_group[g].push(now, loss);
+
+            // The group re-reads the fresh central model and schedules its
+            // next iteration.
+            group_params[g].copy_from_slice(&central);
+            if iter + 1 < cfg.iterations {
+                let d = Self::group_duration(cfg, nodes_per_group, hybrid, &mut ps_free, now, &mut jrngs[g]);
+                queue.schedule(now + d, (g, iter + 1));
+            }
+        }
+
+        model.set_flat_params(&central);
+        SimRunSummary {
+            curve,
+            per_group,
+            mean_staleness: if updates > 0 { staleness_sum / updates as f64 } else { 0.0 },
+            total_time: queue.now(),
+            updates,
+            final_params: central,
+        }
+    }
+
+    /// Simulated duration of one group iteration starting at `now`:
+    /// compute (with barrier jitter) + intra-group all-reduce
+    /// (+ PS fork-join with queueing when hybrid).
+    fn group_duration(
+        cfg: &SimEngineConfig,
+        nodes_per_group: usize,
+        hybrid: bool,
+        ps_free: &mut [f64],
+        now: f64,
+        rng: &mut TensorRng,
+    ) -> f64 {
+        let b = (cfg.batch_per_group / nodes_per_group).max(1);
+        let mut compute = cfg.timing.node_iteration_time(&cfg.knl, b);
+        if hybrid {
+            compute -= cfg.timing.solver_secs(cfg.timing.params);
+        }
+        let barrier = cfg.jitter.barrier_multiplier(rng, nodes_per_group);
+        let delay = cfg.jitter.barrier_delay(rng, nodes_per_group);
+        let allreduce = cfg.net.allreduce_time(nodes_per_group, cfg.timing.model_bytes);
+        let mut dur = compute * barrier + delay + allreduce;
+        if hybrid {
+            let arrive = now + dur;
+            let num_ps = ps_free.len();
+            let ps_bytes = cfg.timing.model_bytes / num_ps as u64;
+            let ps_params = cfg.timing.params / num_ps as u64;
+            let mut resume = arrive;
+            for free in ps_free.iter_mut() {
+                let begin = free.max(arrive);
+                let service = cfg.net.p2p_time(ps_bytes) * 2.0
+                    + cfg.timing.solver_secs(ps_params)
+                    + cfg.jitter.ps_request_delay(rng);
+                *free = begin + service;
+                resume = resume.max(*free);
+            }
+            resume += cfg.net.broadcast_time(nodes_per_group, cfg.timing.model_bytes);
+            dur = resume - now;
+        }
+        dur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::hep_workload;
+    use scidl_data::HepConfig;
+
+    fn tiny_dataset() -> HepDataset {
+        HepDataset::generate(HepConfig::small(), 96, 42)
+    }
+
+    fn base_cfg(groups: usize) -> SimEngineConfig {
+        let mut cfg = SimEngineConfig::fig8(32, groups, 32, hep_workload());
+        cfg.iterations = 12;
+        cfg.lr = 2e-3;
+        cfg
+    }
+
+    #[test]
+    fn sync_run_is_deterministic() {
+        let ds = tiny_dataset();
+        let cfg = base_cfg(1);
+        let mut rng = TensorRng::new(9);
+        let mut m1 = scidl_nn::arch::hep_small(&mut rng);
+        let mut rng2 = TensorRng::new(9);
+        let mut m2 = scidl_nn::arch::hep_small(&mut rng2);
+        let a = SimEngine::run(&cfg, &mut m1, &ds);
+        let b = SimEngine::run(&cfg, &mut m2, &ds);
+        assert_eq!(a.final_params, b.final_params);
+        assert_eq!(a.curve.points, b.curve.points);
+    }
+
+    #[test]
+    fn sync_has_zero_staleness_hybrid_nonzero() {
+        let ds = tiny_dataset();
+        let mut rng = TensorRng::new(9);
+        let mut m = scidl_nn::arch::hep_small(&mut rng);
+        let sync = SimEngine::run(&base_cfg(1), &mut m, &ds);
+        assert_eq!(sync.mean_staleness, 0.0);
+
+        let mut rng = TensorRng::new(9);
+        let mut m = scidl_nn::arch::hep_small(&mut rng);
+        let hyb = SimEngine::run(&base_cfg(4), &mut m, &ds);
+        assert!(hyb.mean_staleness > 0.5, "staleness {}", hyb.mean_staleness);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = tiny_dataset();
+        let mut cfg = base_cfg(1);
+        cfg.iterations = 40;
+        let mut rng = TensorRng::new(10);
+        let mut m = scidl_nn::arch::hep_small(&mut rng);
+        let r = SimEngine::run(&cfg, &mut m, &ds);
+        let first: f32 = r.curve.points[..5].iter().map(|p| p.1).sum::<f32>() / 5.0;
+        let last: f32 = r.curve.points[r.curve.len() - 5..].iter().map(|p| p.1).sum::<f32>() / 5.0;
+        assert!(last < first, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn sync_matches_plain_sgd_reference() {
+        // With one group and no jitter, the engine must be *exactly*
+        // sequential minibatch training.
+        let ds = tiny_dataset();
+        let mut cfg = base_cfg(1);
+        cfg.jitter = JitterModel::none();
+        cfg.solver = SolverKind::Sgd { momentum: 0.9 };
+        cfg.iterations = 6;
+
+        let mut rng = TensorRng::new(11);
+        let mut m = scidl_nn::arch::hep_small(&mut rng);
+        let engine_run = SimEngine::run(&cfg, &mut m, &ds);
+
+        // Reference: same sampler stream, same solver, sequential.
+        let mut rng = TensorRng::new(11);
+        let mut mref = scidl_nn::arch::hep_small(&mut rng);
+        let mut sampler = BatchSampler::for_node(ds.len(), cfg.batch_per_group, cfg.seed, 0, 1);
+        let mut solver = Sgd::new(cfg.lr, 0.9);
+        for _ in 0..cfg.iterations {
+            let idx = sampler.next_batch();
+            let (_, grad) = crate::task::hep_gradient(&mut mref, &ds, &idx);
+            let sizes: Vec<usize> = mref.param_blocks().iter().map(|b| b.len()).collect();
+            let mut flat = mref.flat_params();
+            let mut off = 0;
+            for (i, &len) in sizes.iter().enumerate() {
+                solver.step_block(i, &mut flat[off..off + len], &grad[off..off + len]);
+                off += len;
+            }
+            mref.set_flat_params(&flat);
+        }
+        let want = mref.flat_params();
+        assert_eq!(engine_run.final_params.len(), want.len());
+        let max_err = engine_run
+            .final_params
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-5, "engine diverges from SGD reference by {max_err}");
+    }
+
+    #[test]
+    fn hybrid_events_interleave_groups() {
+        let ds = tiny_dataset();
+        let cfg = base_cfg(2);
+        let mut rng = TensorRng::new(12);
+        let mut m = scidl_nn::arch::hep_small(&mut rng);
+        let r = SimEngine::run(&cfg, &mut m, &ds);
+        assert_eq!(r.updates, 2 * cfg.iterations);
+        // Both groups contribute points spread over the run.
+        assert!(r.per_group.iter().all(|c| c.len() == cfg.iterations));
+        assert!(r.total_time > 0.0);
+    }
+
+    #[test]
+    fn auto_momentum_reduces_explicit_momentum_for_groups() {
+        let mut cfg = base_cfg(4);
+        cfg.solver = SolverKind::Sgd { momentum: 0.9 };
+        cfg.auto_momentum = true;
+        // Just verify the plumbing: build_solver should not panic and the
+        // adjusted momentum is below the target.
+        let adjusted = asynchrony_adjusted_momentum(0.9, 4);
+        assert!(adjusted < 0.9);
+        let _ = cfg.build_solver();
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the dataset generators: determinism,
+//! physical invariants and sampler coverage under arbitrary seeds.
+
+use proptest::prelude::*;
+use scidl_data::climate::{boxes_to_targets, ClimateConfig, ClimateDataset};
+use scidl_data::{BatchSampler, HepConfig, HepDataset};
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// HEP generation is deterministic and physically sane for any seed:
+    /// finite non-negative pixels, preselection honoured, at least one
+    /// energy deposit per event.
+    #[test]
+    fn hep_generator_invariants(seed in any::<u64>()) {
+        let a = HepDataset::generate(HepConfig::small(), 12, seed);
+        let b = HepDataset::generate(HepConfig::small(), 12, seed);
+        prop_assert_eq!(a.images.data(), b.images.data());
+        prop_assert!(a.images.all_finite());
+        prop_assert!(a.images.min() >= 0.0);
+        for (i, f) in a.features.iter().enumerate() {
+            prop_assert!(f.ht > 600.0 && f.ht < 2200.0);
+            prop_assert!(f.njets >= 3);
+            prop_assert!(f.leading_pt > 0.0);
+            let energy: f32 = a.images.item(i).iter().sum();
+            prop_assert!(energy > 0.0, "event {i} has no deposits");
+        }
+    }
+
+    /// Climate frames carry normalised boxes and finite fields for any
+    /// seed; labelled flags respect the configured fraction in bulk.
+    #[test]
+    fn climate_generator_invariants(seed in any::<u64>()) {
+        let ds = ClimateDataset::generate(ClimateConfig::small(), 8, seed);
+        for s in &ds.samples {
+            prop_assert!(s.image.all_finite());
+            for b in &s.boxes {
+                prop_assert!((0.0..=1.0).contains(&b.cx));
+                prop_assert!((0.0..=1.0).contains(&b.cy));
+                prop_assert!(b.w > 0.0 && b.w <= 1.0);
+                prop_assert!(b.h > 0.0 && b.h <= 1.0);
+                prop_assert!(b.class < 3);
+            }
+        }
+    }
+
+    /// Grid-target conversion marks exactly one positive cell per box
+    /// (boxes in distinct cells) with offsets in [0, 1].
+    #[test]
+    fn targets_are_consistent(seed in any::<u64>(), grid in 4usize..12) {
+        let ds = ClimateDataset::generate(
+            ClimateConfig { events_per_frame: 2.0, labelled_fraction: 1.0, ..ClimateConfig::small() },
+            4,
+            seed,
+        );
+        let boxes: Vec<_> = ds.samples.iter().map(|s| s.boxes.clone()).collect();
+        let t = boxes_to_targets(&boxes, grid, 3);
+        let distinct: usize = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, bs)| {
+                bs.iter()
+                    .map(|b| {
+                        (
+                            i,
+                            ((b.cy * grid as f32) as usize).min(grid - 1),
+                            ((b.cx * grid as f32) as usize).min(grid - 1),
+                        )
+                    })
+                    .collect::<HashSet<_>>()
+                    .len()
+            })
+            .sum();
+        prop_assert_eq!(t.positives(), distinct);
+        for v in &t.bbox {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// The sharded sampler covers its shard exactly once per epoch and
+    /// shards partition the dataset for any (n, nodes) combination.
+    #[test]
+    fn sampler_partition_and_coverage(
+        n in 4usize..60,
+        nodes in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n >= nodes);
+        let mut union = HashSet::new();
+        let mut total = 0usize;
+        for node in 0..nodes {
+            let mut s = BatchSampler::for_node(n, 1, seed, node, nodes);
+            let shard = s.shard_len();
+            total += shard;
+            let mut seen = HashSet::new();
+            for _ in 0..shard {
+                for i in s.next_batch() {
+                    seen.insert(i);
+                    union.insert(i);
+                }
+            }
+            prop_assert_eq!(seen.len(), shard, "epoch must cover the shard once");
+        }
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(union.len(), n);
+    }
+}

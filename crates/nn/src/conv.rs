@@ -1,0 +1,526 @@
+//! 2-D convolution layer (im2col + GEMM lowering).
+
+use crate::layer::{Layer, ParamBlock};
+use scidl_tensor::{col2im, gemm, im2col, ConvGeometry, Shape4, Tensor, TensorRng, Transpose};
+
+/// Forward-pass algorithm selection for [`Conv2d`] — the fast-convolution
+/// families the paper names as future work (Sec. VIII-A) are first-class
+/// options. Backward always uses the im2col/GEMM path (the fast
+/// algorithms here implement forward only), which is valid because all
+/// algorithms compute the same function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConvAlgorithm {
+    /// im2col lowering + blocked GEMM (the MKL-2017-style default).
+    #[default]
+    Im2colGemm,
+    /// Winograd F(2x2, 3x3) — requires `k == 3`, `stride == 1`,
+    /// `pad == 1` and even spatial dims; falls back to im2col otherwise.
+    Winograd,
+    /// FFT convolution — requires `stride == 1` and `pad < k`; falls
+    /// back to im2col otherwise.
+    Fft,
+}
+
+/// A 2-D convolution with square kernel, symmetric padding and uniform
+/// stride, matching the layers of both paper networks (3x3/s1 for HEP,
+/// 5x5 with strides 1–2 for the climate encoder, 3x3 scoring heads).
+///
+/// Weights are stored `(cout, cin, k, k)`; the default forward lowers
+/// each batch item through [`im2col`] and a
+/// `(cout) x (cin*k*k) x (oh*ow)` GEMM; Winograd/FFT forwards are
+/// selectable via [`Conv2d::with_algorithm`].
+pub struct Conv2d {
+    name: String,
+    cin: usize,
+    cout: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    algorithm: ConvAlgorithm,
+    weight: ParamBlock,
+    bias: ParamBlock,
+    /// Cached input from the last forward (needed for weight gradients).
+    cached_input: Option<Tensor>,
+    /// Scratch col buffer reused across batch items and iterations.
+    col: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialised weights and zero bias.
+    pub fn new(
+        name: impl Into<String>,
+        cin: usize,
+        cout: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let name = name.into();
+        let fan_in = cin * k * k;
+        let weight = ParamBlock::new(
+            format!("{name}.weight"),
+            rng.he_tensor(Shape4::new(cout, cin, k, k), fan_in),
+        );
+        let bias = ParamBlock::new(format!("{name}.bias"), Tensor::zeros(Shape4::flat(cout)));
+        Self {
+            name,
+            cin,
+            cout,
+            k,
+            stride,
+            pad,
+            algorithm: ConvAlgorithm::default(),
+            weight,
+            bias,
+            cached_input: None,
+            col: Vec::new(),
+        }
+    }
+
+    /// Selects the forward algorithm (builder style). Incompatible
+    /// geometries silently fall back to im2col at forward time.
+    pub fn with_algorithm(mut self, algorithm: ConvAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// The algorithm the next forward will attempt.
+    pub fn algorithm(&self) -> ConvAlgorithm {
+        self.algorithm
+    }
+
+    /// Whether the configured fast algorithm applies to this input.
+    fn fast_path(&self, ishape: Shape4) -> ConvAlgorithm {
+        match self.algorithm {
+            ConvAlgorithm::Winograd
+                if self.k == 3
+                    && self.stride == 1
+                    && self.pad == 1
+                    && ishape.h % 2 == 0
+                    && ishape.w % 2 == 0 =>
+            {
+                ConvAlgorithm::Winograd
+            }
+            ConvAlgorithm::Fft if self.stride == 1 && self.pad < self.k => ConvAlgorithm::Fft,
+            _ => ConvAlgorithm::Im2colGemm,
+        }
+    }
+
+    /// The geometry induced by an input of the given spatial size.
+    pub fn geometry(&self, h: usize, w: usize) -> ConvGeometry {
+        ConvGeometry::new(self.cin, self.cout, h, w, self.k, self.stride, self.pad)
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Output channels.
+    pub fn cout(&self) -> usize {
+        self.cout
+    }
+
+    /// Input channels.
+    pub fn cin(&self) -> usize {
+        self.cin
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn out_shape(&self, input: Shape4) -> Shape4 {
+        assert_eq!(input.c, self.cin, "{}: expected {} input channels, got {}", self.name, self.cin, input.c);
+        self.geometry(input.h, input.w).out_shape(input.n)
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let ishape = input.shape();
+
+        // Fast-algorithm dispatch (Sec. VIII-A's Winograd/FFT kernels).
+        match self.fast_path(ishape) {
+            ConvAlgorithm::Winograd => {
+                let out = crate::winograd::winograd_conv3x3(
+                    input,
+                    &self.weight.value,
+                    self.bias.value.data(),
+                );
+                self.cached_input = Some(input.clone());
+                return out;
+            }
+            ConvAlgorithm::Fft => {
+                let out =
+                    crate::fftconv::fft_conv(input, &self.weight.value, self.bias.value.data(), self.pad);
+                self.cached_input = Some(input.clone());
+                return out;
+            }
+            ConvAlgorithm::Im2colGemm => {}
+        }
+
+        let geo = self.geometry(ishape.h, ishape.w);
+        let oshape = geo.out_shape(ishape.n);
+        let mut out = Tensor::zeros(oshape);
+        let (rows, cols) = (geo.col_rows(), geo.col_cols());
+
+        // For small-to-medium col matrices, parallelise over batch items
+        // (mirroring the per-node OpenMP parallelism of the paper's
+        // kernels); huge cols (climate first layers) stay sequential with
+        // a shared scratch buffer so the GEMM parallelises internally and
+        // memory stays bounded.
+        let par_batch = ishape.n > 1 && rows * cols <= (1 << 22);
+        if par_batch {
+            use rayon::prelude::*;
+            let item_out = oshape.item_len();
+            let weight = self.weight.value.data();
+            let bias = self.bias.value.data();
+            let cout = self.cout;
+            out.data_mut()
+                .par_chunks_mut(item_out)
+                .enumerate()
+                .for_each(|(n, item)| {
+                    let mut col = vec![0.0f32; rows * cols];
+                    im2col(&geo, input.item(n), &mut col);
+                    gemm(Transpose::No, Transpose::No, cout, cols, rows, 1.0, weight, &col, 0.0, item);
+                    for c in 0..cout {
+                        let b = bias[c];
+                        if b != 0.0 {
+                            for v in &mut item[c * cols..(c + 1) * cols] {
+                                *v += b;
+                            }
+                        }
+                    }
+                });
+        } else {
+            self.col.resize(rows * cols, 0.0);
+            for n in 0..ishape.n {
+                im2col(&geo, input.item(n), &mut self.col);
+                // out_plane = W (cout x rows) * col (rows x cols)
+                gemm(
+                    Transpose::No,
+                    Transpose::No,
+                    self.cout,
+                    cols,
+                    rows,
+                    1.0,
+                    self.weight.value.data(),
+                    &self.col,
+                    0.0,
+                    out.item_mut(n),
+                );
+                // Broadcast bias over each output channel plane.
+                let plane = cols;
+                let item = out.item_mut(n);
+                for c in 0..self.cout {
+                    let b = self.bias.value.data()[c];
+                    if b != 0.0 {
+                        for v in &mut item[c * plane..(c + 1) * plane] {
+                            *v += b;
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Conv2d::backward called before forward");
+        let ishape = input.shape();
+        let geo = self.geometry(ishape.h, ishape.w);
+        let oshape = geo.out_shape(ishape.n);
+        assert_eq!(grad_out.shape(), oshape, "{}: grad_out shape mismatch", self.name);
+
+        let (rows, cols) = (geo.col_rows(), geo.col_cols());
+        self.col.resize(rows * cols, 0.0);
+        let mut dcol = vec![0.0f32; rows * cols];
+        let mut grad_in = Tensor::zeros(ishape);
+
+        for n in 0..ishape.n {
+            let dy = grad_out.item(n); // (cout x cols)
+
+            // Weight gradient: dW += dY * col^T.
+            im2col(&geo, input.item(n), &mut self.col);
+            gemm(
+                Transpose::No,
+                Transpose::Yes,
+                self.cout,
+                rows,
+                cols,
+                1.0,
+                dy,
+                &self.col,
+                1.0,
+                self.weight.grad.data_mut(),
+            );
+
+            // Bias gradient: per-channel sum of dY.
+            for c in 0..self.cout {
+                let s: f32 = dy[c * cols..(c + 1) * cols].iter().sum();
+                self.bias.grad.data_mut()[c] += s;
+            }
+
+            // Data gradient: dcol = W^T * dY, then scatter back.
+            gemm(
+                Transpose::Yes,
+                Transpose::No,
+                rows,
+                cols,
+                self.cout,
+                1.0,
+                self.weight.value.data(),
+                dy,
+                0.0,
+                &mut dcol,
+            );
+            col2im(&geo, &dcol, grad_in.item_mut(n));
+        }
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&ParamBlock> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut ParamBlock> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn forward_flops_per_image(&self, input: Shape4) -> u64 {
+        2 * self.geometry(input.h, input.w).macs_per_image()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TensorRng {
+        TensorRng::new(1234)
+    }
+
+    /// Direct (quadruple-loop) convolution reference.
+    fn conv_ref(
+        input: &Tensor,
+        w: &Tensor,
+        b: &[f32],
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let is = input.shape();
+        let cout = w.shape().n;
+        let geo = ConvGeometry::new(is.c, cout, is.h, is.w, k, stride, pad);
+        let os = geo.out_shape(is.n);
+        let mut out = Tensor::zeros(os);
+        for n in 0..is.n {
+            for co in 0..cout {
+                for oy in 0..os.h {
+                    for ox in 0..os.w {
+                        let mut acc = b[co];
+                        for ci in 0..is.c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if iy >= 0 && ix >= 0 && (iy as usize) < is.h && (ix as usize) < is.w {
+                                        acc += input.at(n, ci, iy as usize, ix as usize)
+                                            * w.at(co, ci, ky, kx);
+                                    }
+                                }
+                            }
+                        }
+                        *out.at_mut(n, co, oy, ox) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_direct_reference() {
+        let mut r = rng();
+        for &(cin, cout, h, w, k, s, p) in
+            &[(1, 1, 5, 5, 3, 1, 0), (2, 3, 6, 7, 3, 1, 1), (3, 4, 8, 8, 5, 2, 2), (2, 2, 4, 4, 1, 1, 0)]
+        {
+            let mut conv = Conv2d::new("c", cin, cout, k, s, p, &mut r);
+            let x = r.uniform_tensor(Shape4::new(2, cin, h, w), -1.0, 1.0);
+            let y = conv.forward(&x);
+            let yref = conv_ref(&x, &conv.weight.value, conv.bias.value.data(), k, s, p);
+            assert!(
+                y.max_abs_diff(&yref) < 1e-4,
+                "mismatch for cin={cin} cout={cout} k={k} s={s} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_shape_consistent_with_forward() {
+        let mut r = rng();
+        let mut conv = Conv2d::new("c", 3, 8, 3, 2, 1, &mut r);
+        let x = r.uniform_tensor(Shape4::new(1, 3, 9, 9), -1.0, 1.0);
+        let expect = conv.out_shape(x.shape());
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), expect);
+        assert_eq!(expect, Shape4::new(1, 8, 5, 5));
+    }
+
+    /// Numerical gradient check on a tiny configuration.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut conv = Conv2d::new("c", 2, 2, 3, 1, 1, &mut r);
+        let x = r.uniform_tensor(Shape4::new(1, 2, 4, 4), -1.0, 1.0);
+
+        // Loss = sum(forward(x)); dL/dy = ones.
+        let y = conv.forward(&x);
+        let ones = Tensor::filled(y.shape(), 1.0);
+        let dx = conv.backward(&ones);
+
+        let eps = 1e-3f32;
+
+        // Check a handful of input gradients.
+        for &idx in &[0usize, 5, 13, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = conv.forward(&xp).sum();
+            conv.cached_input = None;
+            let lm = conv.forward(&xm).sum();
+            conv.cached_input = None;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (dx.data()[idx] - num).abs() < 2e-2,
+                "input grad {idx}: analytic {} vs numeric {num}",
+                dx.data()[idx]
+            );
+        }
+
+        // Check a handful of weight gradients.
+        for &idx in &[0usize, 7, 17, 35] {
+            let analytic = conv.weight.grad.data()[idx];
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let lp = conv.forward(&x).sum();
+            conv.cached_input = None;
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let lm = conv.forward(&x).sum();
+            conv.cached_input = None;
+            conv.weight.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic - num).abs() < 2e-2,
+                "weight grad {idx}: analytic {analytic} vs numeric {num}"
+            );
+        }
+
+        // Bias gradient for loss=sum is the number of output pixels.
+        let per_chan = (4 * 4) as f32;
+        for c in 0..2 {
+            assert!((conv.bias.grad.data()[c] - per_chan).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let mut r = rng();
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, &mut r);
+        let x = r.uniform_tensor(Shape4::new(1, 1, 4, 4), -1.0, 1.0);
+        let y = conv.forward(&x);
+        let g = Tensor::filled(y.shape(), 1.0);
+        conv.backward(&g);
+        let after_one = conv.weight.grad.clone();
+        conv.forward(&x);
+        conv.backward(&g);
+        let mut expected = after_one.clone();
+        expected.scale(2.0);
+        assert!(conv.weight.grad.max_abs_diff(&expected) < 1e-4);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        let mut r = rng();
+        let conv = Conv2d::new("c", 3, 128, 3, 1, 1, &mut r);
+        let f = conv.forward_flops_per_image(Shape4::new(1, 3, 224, 224));
+        assert_eq!(f, 2 * 128 * 3 * 9 * 224 * 224);
+        assert_eq!(conv.backward_flops_per_image(Shape4::new(1, 3, 224, 224)), 2 * f);
+    }
+
+    #[test]
+    fn all_algorithms_agree_and_train_identically() {
+        let mut xr = TensorRng::new(5150);
+        let x = xr.uniform_tensor(Shape4::new(2, 3, 8, 8), -1.0, 1.0);
+        let mut r = rng();
+        let mut reference = Conv2d::new("c", 3, 8, 3, 1, 1, &mut r);
+        let flat: Vec<f32> = reference.weight.value.data().to_vec();
+        let want = reference.forward(&x);
+        let dref = reference.backward(&Tensor::filled(want.shape(), 1.0));
+        let wgrad_ref = reference.weight.grad.clone();
+
+        for alg in [ConvAlgorithm::Winograd, ConvAlgorithm::Fft] {
+            let mut r2 = rng();
+            let mut conv = Conv2d::new("c", 3, 8, 3, 1, 1, &mut r2).with_algorithm(alg);
+            assert_eq!(conv.weight.value.data(), flat.as_slice(), "same init");
+            let got = conv.forward(&x);
+            assert!(got.max_abs_diff(&want) < 2e-3, "{alg:?} forward mismatch");
+            // Backward (always im2col) produces the same gradients.
+            let dgot = conv.backward(&Tensor::filled(want.shape(), 1.0));
+            assert!(dgot.max_abs_diff(&dref) < 1e-4, "{alg:?} data-grad mismatch");
+            assert!(conv.weight.grad.max_abs_diff(&wgrad_ref) < 1e-3, "{alg:?} weight-grad mismatch");
+        }
+    }
+
+    #[test]
+    fn incompatible_geometry_falls_back_to_im2col() {
+        let mut xr = TensorRng::new(5151);
+        let x = xr.uniform_tensor(Shape4::new(1, 2, 8, 8), -1.0, 1.0);
+        // Stride 2 cannot use Winograd: must silently fall back.
+        let mut r = rng();
+        let mut conv = Conv2d::new("c", 2, 4, 3, 2, 1, &mut r).with_algorithm(ConvAlgorithm::Winograd);
+        let y = conv.forward(&x);
+        let mut r2 = rng();
+        let mut plain = Conv2d::new("c", 2, 4, 3, 2, 1, &mut r2);
+        let y_ref = plain.forward(&x);
+        assert!(y.max_abs_diff(&y_ref) < 1e-5);
+    }
+
+    #[test]
+    fn batch_parallel_path_matches_sequential_path() {
+        // Force both paths on identical data: a big batch of small images
+        // (parallel path) against per-item forwards (sequential path,
+        // batch 1 never parallelises).
+        let mut r = rng();
+        let mut conv_par = Conv2d::new("c", 3, 8, 3, 1, 1, &mut r);
+        let x = r.uniform_tensor(Shape4::new(6, 3, 12, 12), -1.0, 1.0);
+        let y_par = conv_par.forward(&x);
+        for n in 0..6 {
+            let single = x.batch_slice(n, 1);
+            let y_one = conv_par.forward(&single);
+            let got = y_par.item(n);
+            let want = y_one.item(0);
+            let err = got
+                .iter()
+                .zip(want)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(err < 1e-5, "item {n}: max err {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 input channels")]
+    fn rejects_wrong_channel_count() {
+        let mut r = rng();
+        let conv = Conv2d::new("c", 3, 8, 3, 1, 1, &mut r);
+        conv.out_shape(Shape4::new(1, 4, 8, 8));
+    }
+}

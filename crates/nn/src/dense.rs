@@ -1,0 +1,222 @@
+//! Fully connected (dense) layer.
+//!
+//! The HEP network's only dense layer is the tiny 128→2 projection after
+//! global average pooling — the paper explicitly avoids large dense
+//! layers ("to not use layers with large dense weights", Sec. I) so that
+//! the model stays cheap to all-reduce at scale.
+
+use crate::layer::{Layer, ParamBlock};
+use scidl_tensor::{gemm, Shape4, Tensor, TensorRng, Transpose};
+
+/// Dense layer `y = W x + b`, flattening each batch item.
+///
+/// Weights are stored `(out, in)` row-major; input items of any NCHW shape
+/// are treated as flat vectors of length `item_len`.
+pub struct Dense {
+    name: String,
+    input_len: usize,
+    output_len: usize,
+    weight: ParamBlock,
+    bias: ParamBlock,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialised weights.
+    pub fn new(name: impl Into<String>, input_len: usize, output_len: usize, rng: &mut TensorRng) -> Self {
+        let name = name.into();
+        let weight = ParamBlock::new(
+            format!("{name}.weight"),
+            rng.he_tensor(Shape4::new(output_len, input_len, 1, 1), input_len),
+        );
+        let bias = ParamBlock::new(format!("{name}.bias"), Tensor::zeros(Shape4::flat(output_len)));
+        Self { name, input_len, output_len, weight, bias, cached_input: None }
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn out_shape(&self, input: Shape4) -> Shape4 {
+        assert_eq!(
+            input.item_len(),
+            self.input_len,
+            "{}: expected item length {}, got {}",
+            self.name,
+            self.input_len,
+            input.item_len()
+        );
+        Shape4::new(input.n, self.output_len, 1, 1)
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let os = self.out_shape(input.shape());
+        let n = input.shape().n;
+        let mut out = Tensor::zeros(os);
+        // Y (n x out) = X (n x in) * W^T (in x out)
+        gemm(
+            Transpose::No,
+            Transpose::Yes,
+            n,
+            self.output_len,
+            self.input_len,
+            1.0,
+            input.data(),
+            self.weight.value.data(),
+            0.0,
+            out.data_mut(),
+        );
+        for i in 0..n {
+            let row = &mut out.data_mut()[i * self.output_len..(i + 1) * self.output_len];
+            for (v, &b) in row.iter_mut().zip(self.bias.value.data()) {
+                *v += b;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Dense::backward called before forward");
+        let n = input.shape().n;
+        assert_eq!(grad_out.shape(), Shape4::new(n, self.output_len, 1, 1));
+
+        // dW (out x in) += dY^T (out x n) * X (n x in)
+        gemm(
+            Transpose::Yes,
+            Transpose::No,
+            self.output_len,
+            self.input_len,
+            n,
+            1.0,
+            grad_out.data(),
+            input.data(),
+            1.0,
+            self.weight.grad.data_mut(),
+        );
+        // db += column sums of dY.
+        for i in 0..n {
+            let row = &grad_out.data()[i * self.output_len..(i + 1) * self.output_len];
+            for (g, &d) in self.bias.grad.data_mut().iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        // dX (n x in) = dY (n x out) * W (out x in)
+        let mut grad_in = Tensor::zeros(input.shape());
+        gemm(
+            Transpose::No,
+            Transpose::No,
+            n,
+            self.input_len,
+            self.output_len,
+            1.0,
+            grad_out.data(),
+            self.weight.value.data(),
+            0.0,
+            grad_in.data_mut(),
+        );
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&ParamBlock> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut ParamBlock> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn forward_flops_per_image(&self, _input: Shape4) -> u64 {
+        2 * (self.input_len as u64) * (self.output_len as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut rng = TensorRng::new(5);
+        let mut d = Dense::new("fc", 3, 2, &mut rng);
+        // Overwrite with known weights.
+        d.weight.value = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5],
+        );
+        d.bias.value = Tensor::from_flat(vec![0.5, -0.5]);
+        let x = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let y = d.forward(&x);
+        // item0: [1-3+0.5, 2+2+1.5-0.5] = [-1.5, 5.0]
+        // item1: [-1-1+0.5, -2+0.5-0.5] = [-1.5, -2.0]
+        assert_eq!(y.data(), &[-1.5, 5.0, -1.5, -2.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = TensorRng::new(8);
+        let mut d = Dense::new("fc", 4, 3, &mut rng);
+        let x = rng.uniform_tensor(Shape4::new(2, 4, 1, 1), -1.0, 1.0);
+        let y = d.forward(&x);
+        let ones = Tensor::filled(y.shape(), 1.0);
+        let dx = d.backward(&ones);
+        let eps = 1e-3f32;
+
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = d.forward(&xp).sum();
+            d.cached_input = None;
+            let lm = d.forward(&xm).sum();
+            d.cached_input = None;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((dx.data()[idx] - num).abs() < 1e-2, "input grad {idx}");
+        }
+        for idx in 0..d.weight.value.len() {
+            let analytic = d.weight.grad.data()[idx];
+            let orig = d.weight.value.data()[idx];
+            d.weight.value.data_mut()[idx] = orig + eps;
+            let lp = d.forward(&x).sum();
+            d.cached_input = None;
+            d.weight.value.data_mut()[idx] = orig - eps;
+            let lm = d.forward(&x).sum();
+            d.cached_input = None;
+            d.weight.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((analytic - num).abs() < 1e-2, "weight grad {idx}");
+        }
+        // Bias grad with loss=sum over 2 items is 2 per output.
+        assert!(d.bias.grad.data().iter().all(|&g| (g - 2.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn accepts_spatial_input_shapes() {
+        let mut rng = TensorRng::new(2);
+        let mut d = Dense::new("fc", 12, 5, &mut rng);
+        let x = rng.uniform_tensor(Shape4::new(3, 3, 2, 2), -1.0, 1.0);
+        let y = d.forward(&x);
+        assert_eq!(y.shape(), Shape4::new(3, 5, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected item length")]
+    fn rejects_wrong_input_len() {
+        let mut rng = TensorRng::new(2);
+        let d = Dense::new("fc", 12, 5, &mut rng);
+        d.out_shape(Shape4::new(1, 13, 1, 1));
+    }
+
+    #[test]
+    fn flops_formula() {
+        let mut rng = TensorRng::new(2);
+        let d = Dense::new("fc", 128, 2, &mut rng);
+        assert_eq!(d.forward_flops_per_image(Shape4::flat(128)), 2 * 128 * 2);
+    }
+}

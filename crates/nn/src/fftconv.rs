@@ -1,0 +1,163 @@
+//! FFT-based convolution forward pass.
+//!
+//! Together with Winograd, "FFT based algorithms" are the fast-conv
+//! family the paper names as future work (Sec. VIII-A). This module
+//! computes a stride-1 convolution through the convolution theorem:
+//! pad image and (flipped) kernel to a power-of-two grid, multiply
+//! spectra accumulated over input channels, inverse-transform once per
+//! output channel, and crop the `same`-padding window. Bit-compatible
+//! (to float tolerance) with [`crate::Conv2d`], and asymptotically
+//! cheaper than direct convolution for large kernels.
+
+use scidl_tensor::fft::{accumulate_product, fft2_inplace, Complex};
+use scidl_tensor::{Shape4, Tensor};
+
+/// Spectrum grid side for an `h x w` image with a `k x k` kernel:
+/// the next power of two covering the full linear convolution.
+fn grid_size(h: usize, w: usize, k: usize) -> usize {
+    (h.max(w) + k - 1).next_power_of_two()
+}
+
+/// FFT-based stride-1 convolution with symmetric padding `pad`.
+/// `weight` is `(cout, cin, k, k)`, `bias` has `cout` entries.
+pub fn fft_conv(input: &Tensor, weight: &Tensor, bias: &[f32], pad: usize) -> Tensor {
+    let is = input.shape();
+    let ws = weight.shape();
+    assert_eq!(ws.c, is.c, "channel mismatch");
+    assert_eq!(ws.h, ws.w, "square kernels only");
+    assert_eq!(bias.len(), ws.n, "bias length mismatch");
+    let k = ws.h;
+    assert!(is.h + 2 * pad >= k, "kernel larger than padded input");
+    let (cin, cout) = (is.c, ws.n);
+    let oh = is.h + 2 * pad - k + 1;
+    let ow = is.w + 2 * pad - k + 1;
+    let p = grid_size(is.h, is.w, k);
+    let plane = p * p;
+
+    // Pre-transform all kernels, flipped (correlation → convolution).
+    let mut wf: Vec<Vec<Complex>> = Vec::with_capacity(cout * cin);
+    for co in 0..cout {
+        for ci in 0..cin {
+            let mut grid = vec![(0.0f32, 0.0f32); plane];
+            for ky in 0..k {
+                for kx in 0..k {
+                    grid[(k - 1 - ky) * p + (k - 1 - kx)].0 = weight.at(co, ci, ky, kx);
+                }
+            }
+            fft2_inplace(&mut grid, p, false);
+            wf.push(grid);
+        }
+    }
+
+    let mut out = Tensor::zeros(Shape4::new(is.n, cout, oh, ow));
+    // Crop offset: output pixel (0,0) of the padded correlation sits at
+    // linear-convolution index (k-1-pad).
+    let off = k - 1 - pad.min(k - 1);
+    assert!(pad < k, "pad >= k is not meaningful for `same`-style conv");
+
+    for n in 0..is.n {
+        // Transform every input channel once.
+        let mut xf: Vec<Vec<Complex>> = Vec::with_capacity(cin);
+        for ci in 0..cin {
+            let mut grid = vec![(0.0f32, 0.0f32); plane];
+            for y in 0..is.h {
+                for x in 0..is.w {
+                    grid[y * p + x].0 = input.at(n, ci, y, x);
+                }
+            }
+            fft2_inplace(&mut grid, p, false);
+            xf.push(grid);
+        }
+        for co in 0..cout {
+            let mut acc = vec![(0.0f32, 0.0f32); plane];
+            for ci in 0..cin {
+                accumulate_product(&mut acc, &xf[ci], &wf[co * cin + ci]);
+            }
+            fft2_inplace(&mut acc, p, true);
+            let inv = 1.0 / plane as f32;
+            let b = bias[co];
+            for y in 0..oh {
+                for x in 0..ow {
+                    *out.at_mut(n, co, y, x) = acc[(y + off) * p + (x + off)].0 * inv + b;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Complex multiply-adds of the FFT approach per image (transforms +
+/// spectral products), for comparison with direct convolution's MACs.
+pub fn fft_conv_cmacs(cin: usize, cout: usize, h: usize, w: usize, k: usize) -> u64 {
+    let p = grid_size(h, w, k) as u64;
+    let plane = p * p;
+    let log = (p as f64).log2() as u64 * 2;
+    // Forward transforms of cin inputs + cout inverse transforms, plus
+    // cin*cout spectral products.
+    let transforms = (cin as u64 + cout as u64) * plane * log;
+    transforms + (cin as u64 * cout as u64) * plane
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2d;
+    use crate::layer::Layer;
+    use scidl_tensor::TensorRng;
+
+    #[test]
+    fn matches_im2col_convolution_same_padding() {
+        let mut rng = TensorRng::new(11);
+        for &(cin, cout, hw, k) in &[(1usize, 1usize, 5usize, 3usize), (2, 4, 8, 3), (3, 2, 7, 5)] {
+            let pad = k / 2;
+            let mut conv = Conv2d::new("c", cin, cout, k, 1, pad, &mut rng);
+            let x = rng.uniform_tensor(Shape4::new(2, cin, hw, hw), -1.0, 1.0);
+            let want = conv.forward(&x);
+            let got = fft_conv(&x, &conv.params()[0].value, conv.params()[1].value.data(), pad);
+            assert_eq!(got.shape(), want.shape());
+            let err = got.max_abs_diff(&want);
+            assert!(err < 1e-3, "cin={cin} cout={cout} hw={hw} k={k}: err {err}");
+        }
+    }
+
+    #[test]
+    fn matches_valid_convolution_no_padding() {
+        let mut rng = TensorRng::new(13);
+        let mut conv = Conv2d::new("c", 2, 3, 3, 1, 0, &mut rng);
+        let x = rng.uniform_tensor(Shape4::new(1, 2, 6, 6), -1.0, 1.0);
+        let want = conv.forward(&x);
+        let got = fft_conv(&x, &conv.params()[0].value, conv.params()[1].value.data(), 0);
+        assert_eq!(got.shape(), want.shape());
+        assert!(got.max_abs_diff(&want) < 1e-3);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut w = Tensor::zeros(Shape4::new(1, 1, 3, 3));
+        *w.at_mut(0, 0, 1, 1) = 1.0;
+        let mut rng = TensorRng::new(17);
+        let x = rng.uniform_tensor(Shape4::new(1, 1, 6, 6), -1.0, 1.0);
+        let y = fft_conv(&x, &w, &[0.0], 1);
+        assert!(y.max_abs_diff(&x) < 1e-4);
+    }
+
+    #[test]
+    fn bias_is_added_everywhere() {
+        let w = Tensor::zeros(Shape4::new(1, 2, 3, 3));
+        let x = Tensor::zeros(Shape4::new(1, 2, 4, 4));
+        let y = fft_conv(&x, &w, &[2.5], 1);
+        assert!(y.data().iter().all(|&v| (v - 2.5).abs() < 1e-5));
+    }
+
+    #[test]
+    fn fft_wins_asymptotically_for_large_kernels() {
+        // Direct MACs: cout*cin*k^2*oh*ow grows with k^2; FFT cost is
+        // k-independent once the grid is fixed.
+        let direct = |k: u64| 64u64 * 64 * k * k * 56 * 56;
+        let fft9 = fft_conv_cmacs(64, 64, 56, 56, 9);
+        let fft3 = fft_conv_cmacs(64, 64, 56, 56, 3);
+        assert!(fft9 < direct(9), "FFT should beat direct at k=9: {fft9} vs {}", direct(9));
+        // Identical FFT cost across kernel sizes on the same grid family.
+        assert_eq!(fft9, fft3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Analytic FLOP accounting — the stand-in for the paper's Intel SDE
+//! instrumentation (Sec. V).
+//!
+//! The paper counts executed single-precision FLOPs of the network layers
+//! on one node with SDE, then multiplies by node count (all nodes run the
+//! same layers on the same problem size). We count the same mathematical
+//! FLOPs analytically per layer; throughput numbers everywhere in the
+//! harness are `counted FLOPs / (simulated or measured) time`, exactly
+//! mirroring Sec. V's methodology.
+
+use crate::network::Network;
+use scidl_tensor::Shape4;
+
+/// Per-layer FLOP entry of a [`FlopReport`].
+#[derive(Clone, Debug)]
+pub struct LayerFlops {
+    /// Layer name.
+    pub name: String,
+    /// Forward FLOPs per image.
+    pub forward: u64,
+    /// Backward FLOPs per image.
+    pub backward: u64,
+}
+
+impl LayerFlops {
+    /// Forward + backward FLOPs per image.
+    pub fn training(&self) -> u64 {
+        self.forward + self.backward
+    }
+}
+
+/// FLOP accounting for a network at a fixed input shape.
+#[derive(Clone, Debug)]
+pub struct FlopReport {
+    /// Per-layer counts, in layer order.
+    pub layers: Vec<LayerFlops>,
+    /// FLOPs per parameter spent in the solver update, if accounted.
+    pub solver_flops_per_param: u64,
+    /// Scalar parameter count (for solver totals).
+    pub params: u64,
+}
+
+impl FlopReport {
+    /// Builds a report for `net` at input shape `input` (per single
+    /// image; multiply by the minibatch for per-iteration numbers).
+    pub fn for_network(net: &Network, input: Shape4, solver_flops_per_param: u64) -> Self {
+        use crate::network::Model;
+        let mut s = input.with_n(1);
+        let mut layers = Vec::with_capacity(net.layers().len());
+        for l in net.layers() {
+            layers.push(LayerFlops {
+                name: l.name().to_string(),
+                forward: l.forward_flops_per_image(s),
+                backward: l.backward_flops_per_image(s),
+            });
+            s = l.out_shape(s);
+        }
+        Self { layers, solver_flops_per_param, params: net.num_params() as u64 }
+    }
+
+    /// Total forward FLOPs per image.
+    pub fn total_forward(&self) -> u64 {
+        self.layers.iter().map(|l| l.forward).sum()
+    }
+
+    /// Total backward FLOPs per image.
+    pub fn total_backward(&self) -> u64 {
+        self.layers.iter().map(|l| l.backward).sum()
+    }
+
+    /// Total training (fwd+bwd) FLOPs per image.
+    pub fn total_training(&self) -> u64 {
+        self.total_forward() + self.total_backward()
+    }
+
+    /// Solver FLOPs per iteration (independent of minibatch size).
+    pub fn solver_total(&self) -> u64 {
+        self.solver_flops_per_param * self.params
+    }
+
+    /// FLOPs of one whole training iteration at the given minibatch size.
+    pub fn iteration_flops(&self, minibatch: usize) -> u64 {
+        self.total_training() * minibatch as u64 + self.solver_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, Network, Relu};
+    use scidl_tensor::TensorRng;
+
+    fn two_conv_net() -> Network {
+        let mut rng = TensorRng::new(1);
+        Network::new("n")
+            .push(Conv2d::new("c1", 1, 2, 3, 1, 1, &mut rng))
+            .push(Relu::new("r1"))
+            .push(Conv2d::new("c2", 2, 4, 3, 1, 1, &mut rng))
+    }
+
+    #[test]
+    fn report_tracks_shapes_through_layers() {
+        let net = two_conv_net();
+        let r = FlopReport::for_network(&net, Shape4::new(1, 1, 8, 8), 6);
+        assert_eq!(r.layers.len(), 3);
+        // c1: 2 * (2*1*9*64) = 2304; c2 sees 2 channels: 2*(4*2*9*64) = 9216.
+        assert_eq!(r.layers[0].forward, 2304);
+        assert_eq!(r.layers[2].forward, 9216);
+        assert_eq!(r.total_forward(), 2304 + 128 + 9216);
+    }
+
+    #[test]
+    fn iteration_flops_scale_with_batch() {
+        let net = two_conv_net();
+        let r = FlopReport::for_network(&net, Shape4::new(1, 1, 8, 8), 6);
+        let f1 = r.iteration_flops(1);
+        let f8 = r.iteration_flops(8);
+        assert_eq!(f8 - r.solver_total(), 8 * (f1 - r.solver_total()));
+    }
+
+    #[test]
+    fn backward_roughly_double_forward_for_convs() {
+        let net = two_conv_net();
+        let r = FlopReport::for_network(&net, Shape4::new(1, 1, 8, 8), 0);
+        assert_eq!(r.layers[0].backward, 2 * r.layers[0].forward);
+    }
+}

@@ -1,0 +1,105 @@
+//! The `Layer` trait and trainable-parameter blocks.
+
+use scidl_tensor::{Shape4, Tensor};
+
+/// A named block of trainable parameters together with its accumulated
+/// gradient. Each layer owns zero or more blocks (e.g. a convolution owns
+/// `weight` and `bias`).
+///
+/// The distributed engines treat the list of blocks across a network as
+/// the *model*: all-reduce averages the `grad` tensors, parameter servers
+/// exchange the `value` tensors — the per-layer parameter-server design of
+/// Sec. III-E(c) maps one PS to each block's owning layer.
+#[derive(Clone, Debug)]
+pub struct ParamBlock {
+    /// Human-readable name, e.g. `"conv1.weight"`.
+    pub name: String,
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`). Zeroed by
+    /// [`ParamBlock::zero_grad`]; layers *add* into it during backward so
+    /// gradient accumulation across micro-batches works naturally.
+    pub grad: Tensor,
+}
+
+impl ParamBlock {
+    /// Creates a block with the given initial values and a zero gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { name: name.into(), value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero_();
+    }
+}
+
+/// A stateful neural-network layer (Caffe execution model).
+///
+/// `forward` caches whatever activations `backward` will need; `backward`
+/// consumes the cached state, accumulates parameter gradients into its
+/// [`ParamBlock`]s and returns the gradient with respect to the input.
+pub trait Layer: Send {
+    /// Layer instance name (unique within a network), e.g. `"conv3"`.
+    fn name(&self) -> &str;
+
+    /// Output shape for a given input shape. Panics if the input shape is
+    /// incompatible with the layer configuration.
+    fn out_shape(&self, input: Shape4) -> Shape4;
+
+    /// Forward pass.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backward pass: gradient w.r.t. output in, gradient w.r.t. input
+    /// out. Must be called after `forward` with a matching shape.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Immutable access to the parameter blocks (empty for stateless
+    /// layers).
+    fn params(&self) -> Vec<&ParamBlock> {
+        Vec::new()
+    }
+
+    /// Mutable access to the parameter blocks.
+    fn params_mut(&mut self) -> Vec<&mut ParamBlock> {
+        Vec::new()
+    }
+
+    /// Forward FLOPs per single image for the given input shape (the
+    /// `2*macs` convention the paper's SDE counting reports). Stateless
+    /// cheap layers may return small or zero values.
+    fn forward_flops_per_image(&self, input: Shape4) -> u64;
+
+    /// Backward FLOPs per single image. Defaults to `2x` forward (one
+    /// pass each for data- and weight-gradients), the standard convention;
+    /// stateless layers override to `1x`.
+    fn backward_flops_per_image(&self, input: Shape4) -> u64 {
+        2 * self.forward_flops_per_image(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_block_zero_grad() {
+        let mut b = ParamBlock::new("w", Tensor::filled(Shape4::flat(4), 1.0));
+        b.grad.data_mut()[2] = 5.0;
+        b.zero_grad();
+        assert!(b.grad.data().iter().all(|&x| x == 0.0));
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+    }
+}

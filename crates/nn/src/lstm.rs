@@ -1,0 +1,409 @@
+//! LSTM (long short-term memory) recurrent layer.
+//!
+//! Sec. IX claims the paper's hybrid-training results "extend to other
+//! kinds of models such as ResNets and LSTM [51], [52]". This module
+//! supplies the LSTM: a batched cell with full backpropagation-through-
+//! time, exposing its parameters as [`ParamBlock`]s so the same solvers,
+//! all-reduce and parameter servers train it unchanged.
+//!
+//! Gate order in the packed weight matrices is `[input, forget,
+//! candidate, output]`; the forget-gate bias is initialised to 1
+//! (the classic "learning to forget" trick of Gers et al. [52]).
+
+use crate::layer::ParamBlock;
+use crate::network::Model;
+use scidl_tensor::{gemm, Shape4, Tensor, TensorRng, Transpose};
+
+/// Per-timestep cache for BPTT.
+struct StepCache {
+    x: Tensor,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// A single-layer LSTM over batched sequences.
+///
+/// Inputs are per-step tensors of shape `(n, input, 1, 1)`; outputs are
+/// the per-step hidden states `(n, hidden, 1, 1)`.
+pub struct Lstm {
+    name: String,
+    input: usize,
+    hidden: usize,
+    /// Input-to-gates weights, `(4*hidden, input)`.
+    w_x: ParamBlock,
+    /// Hidden-to-gates weights, `(4*hidden, hidden)`.
+    w_h: ParamBlock,
+    /// Gate biases, `4*hidden`.
+    b: ParamBlock,
+    caches: Vec<StepCache>,
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-ish init and forget bias 1.
+    pub fn new(name: impl Into<String>, input: usize, hidden: usize, rng: &mut TensorRng) -> Self {
+        let name = name.into();
+        let w_x = ParamBlock::new(
+            format!("{name}.w_x"),
+            rng.he_tensor(Shape4::new(4 * hidden, input, 1, 1), input),
+        );
+        let w_h = ParamBlock::new(
+            format!("{name}.w_h"),
+            rng.he_tensor(Shape4::new(4 * hidden, hidden, 1, 1), hidden),
+        );
+        let mut bias = Tensor::zeros(Shape4::flat(4 * hidden));
+        // Forget gate block is the second quarter.
+        for v in &mut bias.data_mut()[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        let b = ParamBlock::new(format!("{name}.b"), bias);
+        Self { name, input, hidden, w_x, w_h, b, caches: Vec::new() }
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Scalar parameter count: `4h(in + h + 1)`.
+    pub fn param_count(&self) -> usize {
+        4 * self.hidden * (self.input + self.hidden + 1)
+    }
+
+    /// Runs the sequence forward from zero initial state, returning the
+    /// hidden state after every step.
+    pub fn forward(&mut self, xs: &[Tensor]) -> Vec<Tensor> {
+        assert!(!xs.is_empty(), "empty sequence");
+        let n = xs[0].shape().n;
+        let h4 = 4 * self.hidden;
+        self.caches.clear();
+
+        let mut h = vec![0.0f32; n * self.hidden];
+        let mut c = vec![0.0f32; n * self.hidden];
+        let mut outputs = Vec::with_capacity(xs.len());
+
+        for x in xs {
+            assert_eq!(x.shape().n, n, "batch size must be constant over the sequence");
+            assert_eq!(x.shape().item_len(), self.input, "input width mismatch");
+
+            // z (n x 4h) = x W_x^T + h W_h^T + b
+            let mut z = vec![0.0f32; n * h4];
+            gemm(Transpose::No, Transpose::Yes, n, h4, self.input, 1.0, x.data(), self.w_x.value.data(), 0.0, &mut z);
+            gemm(Transpose::No, Transpose::Yes, n, h4, self.hidden, 1.0, &h, self.w_h.value.data(), 1.0, &mut z);
+            for row in z.chunks_mut(h4) {
+                for (v, &bv) in row.iter_mut().zip(self.b.value.data()) {
+                    *v += bv;
+                }
+            }
+
+            let hsz = self.hidden;
+            let mut gi = vec![0.0f32; n * hsz];
+            let mut gf = vec![0.0f32; n * hsz];
+            let mut gg = vec![0.0f32; n * hsz];
+            let mut go = vec![0.0f32; n * hsz];
+            let mut c_new = vec![0.0f32; n * hsz];
+            let mut tanh_c = vec![0.0f32; n * hsz];
+            let mut h_new = vec![0.0f32; n * hsz];
+            for bi in 0..n {
+                for j in 0..hsz {
+                    let zi = z[bi * h4 + j];
+                    let zf = z[bi * h4 + hsz + j];
+                    let zg = z[bi * h4 + 2 * hsz + j];
+                    let zo = z[bi * h4 + 3 * hsz + j];
+                    let iv = sigmoid(zi);
+                    let fv = sigmoid(zf);
+                    let gv = zg.tanh();
+                    let ov = sigmoid(zo);
+                    let cv = fv * c[bi * hsz + j] + iv * gv;
+                    let tc = cv.tanh();
+                    gi[bi * hsz + j] = iv;
+                    gf[bi * hsz + j] = fv;
+                    gg[bi * hsz + j] = gv;
+                    go[bi * hsz + j] = ov;
+                    c_new[bi * hsz + j] = cv;
+                    tanh_c[bi * hsz + j] = tc;
+                    h_new[bi * hsz + j] = ov * tc;
+                }
+            }
+
+            self.caches.push(StepCache {
+                x: x.clone(),
+                h_prev: h.clone(),
+                c_prev: c.clone(),
+                i: gi,
+                f: gf,
+                g: gg,
+                o: go,
+                tanh_c,
+            });
+            h = h_new;
+            c = c_new;
+            outputs.push(Tensor::from_vec(Shape4::new(n, self.hidden, 1, 1), h.clone()));
+        }
+        outputs
+    }
+
+    /// Backpropagation through time. `dhs[t]` is the loss gradient with
+    /// respect to the step-`t` hidden output (zero tensors for unused
+    /// steps). Accumulates parameter gradients; returns per-step input
+    /// gradients.
+    pub fn backward(&mut self, dhs: &[Tensor]) -> Vec<Tensor> {
+        assert_eq!(dhs.len(), self.caches.len(), "backward before forward / length mismatch");
+        let t_steps = self.caches.len();
+        let n = self.caches[0].x.shape().n;
+        let hsz = self.hidden;
+        let h4 = 4 * hsz;
+
+        let mut dh_next = vec![0.0f32; n * hsz];
+        let mut dc_next = vec![0.0f32; n * hsz];
+        let mut dxs = vec![Tensor::zeros(Shape4::new(0, 0, 0, 0)); t_steps];
+
+        for t in (0..t_steps).rev() {
+            let cache = &self.caches[t];
+            let mut dz = vec![0.0f32; n * h4];
+            for bi in 0..n {
+                for j in 0..hsz {
+                    let idx = bi * hsz + j;
+                    let dh = dhs[t].data()[idx] + dh_next[idx];
+                    let o = cache.o[idx];
+                    let tc = cache.tanh_c[idx];
+                    let dzo = dh * tc * o * (1.0 - o);
+                    let mut dc = dh * o * (1.0 - tc * tc) + dc_next[idx];
+                    let i = cache.i[idx];
+                    let f = cache.f[idx];
+                    let g = cache.g[idx];
+                    let dzi = dc * g * i * (1.0 - i);
+                    let dzf = dc * cache.c_prev[idx] * f * (1.0 - f);
+                    let dzg = dc * i * (1.0 - g * g);
+                    dz[bi * h4 + j] = dzi;
+                    dz[bi * h4 + hsz + j] = dzf;
+                    dz[bi * h4 + 2 * hsz + j] = dzg;
+                    dz[bi * h4 + 3 * hsz + j] = dzo;
+                    dc *= f;
+                    dc_next[idx] = dc;
+                }
+            }
+
+            // dW_x (4h x in) += dz^T x ; dW_h += dz^T h_prev ; db += col sums.
+            gemm(Transpose::Yes, Transpose::No, h4, self.input, n, 1.0, &dz, cache.x.data(), 1.0, self.w_x.grad.data_mut());
+            gemm(Transpose::Yes, Transpose::No, h4, hsz, n, 1.0, &dz, &cache.h_prev, 1.0, self.w_h.grad.data_mut());
+            for bi in 0..n {
+                for (gb, &d) in self.b.grad.data_mut().iter_mut().zip(&dz[bi * h4..(bi + 1) * h4]) {
+                    *gb += d;
+                }
+            }
+
+            // dx (n x in) = dz W_x ; dh_prev (n x h) = dz W_h.
+            let mut dx = vec![0.0f32; n * self.input];
+            gemm(Transpose::No, Transpose::No, n, self.input, h4, 1.0, &dz, self.w_x.value.data(), 0.0, &mut dx);
+            dxs[t] = Tensor::from_vec(Shape4::new(n, self.input, 1, 1), dx);
+            let mut dh_prev = vec![0.0f32; n * hsz];
+            gemm(Transpose::No, Transpose::No, n, hsz, h4, 1.0, &dz, self.w_h.value.data(), 0.0, &mut dh_prev);
+            dh_next = dh_prev;
+        }
+        self.caches.clear();
+        dxs
+    }
+
+    /// Training FLOPs per sequence step per batch item (the two GEMMs,
+    /// forward and backward).
+    pub fn flops_per_step_per_item(&self) -> u64 {
+        let fwd = 2 * (4 * self.hidden) as u64 * (self.input + self.hidden) as u64;
+        3 * fwd
+    }
+}
+
+impl Model for Lstm {
+    fn param_blocks(&self) -> Vec<&ParamBlock> {
+        vec![&self.w_x, &self.w_h, &self.b]
+    }
+
+    fn param_blocks_mut(&mut self) -> Vec<&mut ParamBlock> {
+        vec![&mut self.w_x, &mut self.w_h, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Adam, Solver};
+
+    fn seq(rng: &mut TensorRng, n: usize, t: usize, d: usize) -> Vec<Tensor> {
+        (0..t).map(|_| rng.uniform_tensor(Shape4::new(n, d, 1, 1), -1.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn output_shapes_and_param_count() {
+        let mut rng = TensorRng::new(1);
+        let mut lstm = Lstm::new("l", 3, 5, &mut rng);
+        assert_eq!(lstm.param_count(), 4 * 5 * (3 + 5 + 1));
+        assert_eq!(lstm.num_params(), lstm.param_count());
+        let xs = seq(&mut rng, 2, 4, 3);
+        let hs = lstm.forward(&xs);
+        assert_eq!(hs.len(), 4);
+        assert_eq!(hs[0].shape(), Shape4::new(2, 5, 1, 1));
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut rng = TensorRng::new(2);
+        let lstm = Lstm::new("l", 2, 3, &mut rng);
+        let b = lstm.b.value.data();
+        assert!(b[..3].iter().all(|&x| x == 0.0));
+        assert!(b[3..6].iter().all(|&x| x == 1.0));
+        assert!(b[6..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn hidden_state_carries_information_across_steps() {
+        let mut rng = TensorRng::new(3);
+        let mut lstm = Lstm::new("l", 1, 4, &mut rng);
+        // Same input at t=1; different inputs at t=0 ⇒ outputs at t=1
+        // must differ (memory).
+        let a = vec![
+            Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![1.0]),
+            Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![0.0]),
+        ];
+        let b = vec![
+            Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![-1.0]),
+            Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![0.0]),
+        ];
+        let ha = lstm.forward(&a);
+        let hb = lstm.forward(&b);
+        assert!(ha[1].max_abs_diff(&hb[1]) > 1e-4);
+    }
+
+    #[test]
+    fn bptt_matches_finite_differences() {
+        let mut rng = TensorRng::new(4);
+        let mut lstm = Lstm::new("l", 2, 3, &mut rng);
+        let xs = seq(&mut rng, 1, 3, 2);
+
+        // Loss = sum of all hidden outputs.
+        let hs = lstm.forward(&xs);
+        let dhs: Vec<Tensor> = hs.iter().map(|h| Tensor::filled(h.shape(), 1.0)).collect();
+        let dxs = lstm.backward(&dhs);
+
+        let loss = |lstm: &mut Lstm, xs: &[Tensor]| -> f32 {
+            let hs = lstm.forward(xs);
+            lstm.caches.clear();
+            hs.iter().map(|h| h.sum()).sum()
+        };
+
+        let eps = 1e-3f32;
+        // Input gradients at every step.
+        for t in 0..3 {
+            for idx in 0..2 {
+                let mut xsp = xs.clone();
+                xsp[t].data_mut()[idx] += eps;
+                let mut xsm = xs.clone();
+                xsm[t].data_mut()[idx] -= eps;
+                let num = (loss(&mut lstm, &xsp) - loss(&mut lstm, &xsm)) / (2.0 * eps);
+                let analytic = dxs[t].data()[idx];
+                assert!((analytic - num).abs() < 2e-2, "dx[{t}][{idx}]: {analytic} vs {num}");
+            }
+        }
+        // Weight gradients (spot check each block).
+        let grads: Vec<f32> = lstm.flat_grads();
+        let sizes: Vec<usize> = lstm.param_blocks().iter().map(|b| b.len()).collect();
+        let mut flat = lstm.flat_params();
+        let probe = [0usize, sizes[0] + 1, sizes[0] + sizes[1] + 2];
+        for &idx in &probe {
+            let orig = flat[idx];
+            flat[idx] = orig + eps;
+            lstm.set_flat_params(&flat);
+            let lp = loss(&mut lstm, &xs);
+            flat[idx] = orig - eps;
+            lstm.set_flat_params(&flat);
+            let lm = loss(&mut lstm, &xs);
+            flat[idx] = orig;
+            lstm.set_flat_params(&flat);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((grads[idx] - num).abs() < 2e-2, "param {idx}: {} vs {num}", grads[idx]);
+        }
+    }
+
+    #[test]
+    fn learns_sign_of_sequence_sum() {
+        // Toy task: classify whether the running sum of a ±1 sequence is
+        // positive, read from the final hidden state through a fixed
+        // readout of the first hidden unit.
+        let mut rng = TensorRng::new(5);
+        let mut lstm = Lstm::new("l", 1, 8, &mut rng);
+        let mut solver = Adam::new(5e-3);
+        let t = 6;
+        let mut final_loss = 0.0f32;
+        let mut first_loss = None;
+        for step in 0..300 {
+            // Generate a batch of 8 sequences.
+            let n = 8;
+            let mut xs: Vec<Tensor> = Vec::with_capacity(t);
+            let mut sums = vec![0.0f32; n];
+            let mut data: Vec<Vec<f32>> = vec![vec![0.0; n]; t];
+            for bi in 0..n {
+                for ti in 0..t {
+                    let v: f32 = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+                    data[ti][bi] = v;
+                    sums[bi] += v;
+                }
+            }
+            for ti in 0..t {
+                xs.push(Tensor::from_vec(Shape4::new(n, 1, 1, 1), data[ti].clone()));
+            }
+            let hs = lstm.forward(&xs);
+            // Squared-error on unit 0 of the last hidden state vs sign.
+            let last = &hs[t - 1];
+            let mut loss = 0.0f32;
+            let mut dh_last = Tensor::zeros(last.shape());
+            for bi in 0..n {
+                let target = if sums[bi] > 0.0 { 0.5 } else { -0.5 };
+                let pred = last.data()[bi * 8];
+                let d = pred - target;
+                loss += d * d / n as f32;
+                dh_last.data_mut()[bi * 8] = 2.0 * d / n as f32;
+            }
+            let mut dhs: Vec<Tensor> = hs.iter().map(|h| Tensor::zeros(h.shape())).collect();
+            dhs[t - 1] = dh_last;
+            lstm.backward(&dhs);
+            solver.step_model(&mut lstm);
+            lstm.zero_grads();
+            if step == 20 {
+                first_loss = Some(loss);
+            }
+            final_loss = loss;
+        }
+        assert!(
+            final_loss < first_loss.unwrap() * 0.7,
+            "LSTM should learn the task: {first_loss:?} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    fn flops_formula_positive() {
+        let mut rng = TensorRng::new(6);
+        let lstm = Lstm::new("l", 16, 32, &mut rng);
+        assert_eq!(lstm.flops_per_step_per_item(), 3 * 2 * 128 * 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn rejects_empty_sequence() {
+        let mut rng = TensorRng::new(7);
+        let mut lstm = Lstm::new("l", 1, 1, &mut rng);
+        let _ = lstm.forward(&[]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Sequential network container and the `Model` abstraction used by the
+//! distributed engines.
+
+use crate::layer::{Layer, ParamBlock};
+use scidl_tensor::{Shape4, Tensor};
+
+/// Anything with trainable parameters that the distributed engines in
+/// `scidl-core` can train: a plain [`Network`] or a composite like the
+/// climate encoder/decoder model.
+///
+/// The engines only ever see parameters as an ordered list of
+/// [`ParamBlock`]s; flattened copies of values/gradients are what travels
+/// over all-reduce and to the parameter servers.
+pub trait Model: Send {
+    /// Ordered list of parameter blocks.
+    fn param_blocks(&self) -> Vec<&ParamBlock>;
+
+    /// Ordered mutable list of parameter blocks (same order).
+    fn param_blocks_mut(&mut self) -> Vec<&mut ParamBlock>;
+
+    /// Zeroes every accumulated gradient.
+    fn zero_grads(&mut self) {
+        for b in self.param_blocks_mut() {
+            b.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    fn num_params(&self) -> usize {
+        self.param_blocks().iter().map(|b| b.len()).sum()
+    }
+
+    /// Model size in bytes (f32 parameters) — the quantity Table II
+    /// reports per architecture.
+    fn param_bytes(&self) -> usize {
+        self.num_params() * std::mem::size_of::<f32>()
+    }
+
+    /// Copies all parameter values into one flat vector (block order).
+    fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for b in self.param_blocks() {
+            out.extend_from_slice(b.value.data());
+        }
+        out
+    }
+
+    /// Overwrites all parameter values from a flat vector (block order).
+    fn set_flat_params(&mut self, flat: &[f32]) {
+        let mut off = 0;
+        for b in self.param_blocks_mut() {
+            let len = b.len();
+            b.value.data_mut().copy_from_slice(&flat[off..off + len]);
+            off += len;
+        }
+        assert_eq!(off, flat.len(), "flat parameter length mismatch");
+    }
+
+    /// Copies all gradients into one flat vector (block order).
+    fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for b in self.param_blocks() {
+            out.extend_from_slice(b.grad.data());
+        }
+        out
+    }
+
+    /// Overwrites all gradients from a flat vector (block order).
+    fn set_flat_grads(&mut self, flat: &[f32]) {
+        let mut off = 0;
+        for b in self.param_blocks_mut() {
+            let len = b.len();
+            b.grad.data_mut().copy_from_slice(&flat[off..off + len]);
+            off += len;
+        }
+        assert_eq!(off, flat.len(), "flat gradient length mismatch");
+    }
+}
+
+/// A plain sequential stack of layers (the HEP network's shape, and the
+/// building block of the climate model's encoder and decoder).
+pub struct Network {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), layers: Vec::new() }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by the profiler).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Shape produced by running an input of shape `input` through every
+    /// layer.
+    pub fn out_shape(&self, input: Shape4) -> Shape4 {
+        self.layers.iter().fold(input, |s, l| l.out_shape(s))
+    }
+
+    /// Full forward pass.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x);
+        }
+        x
+    }
+
+    /// Full backward pass; returns the gradient w.r.t. the network input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    /// Forward FLOPs per image for a given input shape (sum over layers).
+    pub fn forward_flops_per_image(&self, input: Shape4) -> u64 {
+        let mut s = input;
+        let mut total = 0u64;
+        for l in &self.layers {
+            total += l.forward_flops_per_image(s);
+            s = l.out_shape(s);
+        }
+        total
+    }
+
+    /// Backward FLOPs per image.
+    pub fn backward_flops_per_image(&self, input: Shape4) -> u64 {
+        let mut s = input;
+        let mut total = 0u64;
+        for l in &self.layers {
+            total += l.backward_flops_per_image(s);
+            s = l.out_shape(s);
+        }
+        total
+    }
+
+    /// Training FLOPs per image (forward + backward), the quantity the
+    /// paper's throughput numbers are computed from.
+    pub fn training_flops_per_image(&self, input: Shape4) -> u64 {
+        self.forward_flops_per_image(input) + self.backward_flops_per_image(input)
+    }
+
+    /// Human-readable layer-by-layer summary for a given input shape:
+    /// name, output shape, parameter count and training GFLOPs per image.
+    pub fn summary(&self, input: Shape4) -> String {
+        use crate::network::Model;
+        let mut s = input.with_n(1);
+        let mut out = format!("{} (input {s})\n", self.name);
+        out.push_str(&format!(
+            "{:<14} {:>16} {:>12} {:>12}\n",
+            "layer", "output", "params", "GF/img"
+        ));
+        for l in &self.layers {
+            let o = l.out_shape(s);
+            let params: usize = l.params().iter().map(|b| b.len()).sum();
+            let gf = (l.forward_flops_per_image(s) + l.backward_flops_per_image(s)) as f64 / 1e9;
+            out.push_str(&format!(
+                "{:<14} {:>16} {:>12} {:>12.3}\n",
+                l.name(),
+                format!("{o}"),
+                params,
+                gf
+            ));
+            s = o;
+        }
+        out.push_str(&format!(
+            "total: {} params ({:.2} MiB), {:.2} GF/img training\n",
+            self.num_params(),
+            self.param_bytes() as f64 / (1024.0 * 1024.0),
+            self.training_flops_per_image(input) as f64 / 1e9
+        ));
+        out
+    }
+}
+
+impl Model for Network {
+    fn param_blocks(&self) -> Vec<&ParamBlock> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn param_blocks_mut(&mut self) -> Vec<&mut ParamBlock> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, Dense, GlobalAvgPool, MaxPool2d, Relu};
+    use scidl_tensor::TensorRng;
+
+    fn tiny_net(rng: &mut TensorRng) -> Network {
+        Network::new("tiny")
+            .push(Conv2d::new("conv1", 1, 4, 3, 1, 1, rng))
+            .push(Relu::new("relu1"))
+            .push(MaxPool2d::new("pool1", 2, 2))
+            .push(GlobalAvgPool::new("gap"))
+            .push(Dense::new("fc", 4, 2, rng))
+    }
+
+    #[test]
+    fn out_shape_chains_layers() {
+        let mut rng = TensorRng::new(1);
+        let net = tiny_net(&mut rng);
+        assert_eq!(net.out_shape(Shape4::new(5, 1, 8, 8)), Shape4::new(5, 2, 1, 1));
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = TensorRng::new(1);
+        let mut net = tiny_net(&mut rng);
+        let x = rng.uniform_tensor(Shape4::new(2, 1, 8, 8), -1.0, 1.0);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), Shape4::new(2, 2, 1, 1));
+        let g = net.backward(&Tensor::filled(y.shape(), 1.0));
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn param_roundtrip_via_flat_vectors() {
+        let mut rng = TensorRng::new(1);
+        let mut net = tiny_net(&mut rng);
+        let flat = net.flat_params();
+        assert_eq!(flat.len(), net.num_params());
+        let mut doubled: Vec<f32> = flat.iter().map(|x| x * 2.0).collect();
+        net.set_flat_params(&doubled);
+        doubled.iter_mut().for_each(|x| *x *= 0.5);
+        net.set_flat_params(&doubled);
+        assert_eq!(net.flat_params(), flat);
+    }
+
+    #[test]
+    fn zero_grads_clears_all_blocks() {
+        let mut rng = TensorRng::new(1);
+        let mut net = tiny_net(&mut rng);
+        let x = rng.uniform_tensor(Shape4::new(1, 1, 8, 8), -1.0, 1.0);
+        let y = net.forward(&x);
+        net.backward(&Tensor::filled(y.shape(), 1.0));
+        assert!(net.flat_grads().iter().any(|&g| g != 0.0));
+        net.zero_grads();
+        assert!(net.flat_grads().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn param_block_names_are_qualified() {
+        let mut rng = TensorRng::new(1);
+        let net = tiny_net(&mut rng);
+        let names: Vec<_> = net.param_blocks().iter().map(|b| b.name.clone()).collect();
+        assert_eq!(names, vec!["conv1.weight", "conv1.bias", "fc.weight", "fc.bias"]);
+    }
+
+    #[test]
+    fn whole_network_gradient_check() {
+        let mut rng = TensorRng::new(77);
+        let mut net = tiny_net(&mut rng);
+        let x = rng.uniform_tensor(Shape4::new(1, 1, 6, 6), -1.0, 1.0);
+
+        let y = net.forward(&x);
+        net.backward(&Tensor::filled(y.shape(), 1.0));
+        let analytic = net.flat_grads();
+
+        let eps = 1e-2f32;
+        let flat = net.flat_params();
+        // Spot-check a few parameters across the blocks.
+        for idx in [0usize, 3, 17, flat.len() - 1] {
+            let mut p = flat.clone();
+            p[idx] += eps;
+            net.set_flat_params(&p);
+            let lp = net.forward(&x).sum();
+            p[idx] -= 2.0 * eps;
+            net.set_flat_params(&p);
+            let lm = net.forward(&x).sum();
+            p[idx] += eps;
+            net.set_flat_params(&p);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic[idx] - num).abs() < 3e-2,
+                "param {idx}: analytic {} vs numeric {num}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn summary_lists_layers_and_totals() {
+        let mut rng = TensorRng::new(1);
+        let net = tiny_net(&mut rng);
+        let s = net.summary(Shape4::new(1, 1, 8, 8));
+        assert!(s.contains("conv1"));
+        assert!(s.contains("fc"));
+        assert!(s.contains("total:"));
+        assert!(s.contains(&net.num_params().to_string()));
+        assert_eq!(s.lines().count(), 2 + net.layers().len() + 1);
+    }
+
+    #[test]
+    fn flop_counts_accumulate_over_layers() {
+        let mut rng = TensorRng::new(1);
+        let net = tiny_net(&mut rng);
+        let s = Shape4::new(1, 1, 8, 8);
+        let fwd = net.forward_flops_per_image(s);
+        // conv: 2*4*1*9*64 = 4608; relu: 256; pool: 64 (4x4 out,k2) -> 4*4*4*4=... recompute:
+        // conv out 4x8x8=256 relu 256 flops; pool out 4x4x4, 4 taps each = 256; gap 64; fc 2*4*2=16.
+        assert_eq!(fwd, 4608 + 256 + 256 + 64 + 16);
+        assert!(net.backward_flops_per_image(s) > fwd);
+        assert_eq!(
+            net.training_flops_per_image(s),
+            fwd + net.backward_flops_per_image(s)
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Pooling layers: max pooling and global average pooling.
+//!
+//! The HEP network (Sec. III-A) uses 2x2/stride-2 max pooling after the
+//! first four convolutions and global average pooling after the fifth —
+//! a deliberate design choice of the paper (no large dense layers) that
+//! keeps the model small enough to all-reduce cheaply at scale.
+
+use crate::layer::Layer;
+use scidl_tensor::{Shape4, Tensor};
+
+/// Max pooling with square kernel and uniform stride (no padding).
+pub struct MaxPool2d {
+    name: String,
+    k: usize,
+    stride: usize,
+    /// Flat input index of the argmax for every output element, recorded
+    /// during forward for the backward scatter.
+    argmax: Vec<usize>,
+    in_shape: Shape4,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer; the paper uses `k = stride = 2`.
+    pub fn new(name: impl Into<String>, k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0);
+        Self { name: name.into(), k, stride, argmax: Vec::new(), in_shape: Shape4::new(0, 0, 0, 0) }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn out_shape(&self, input: Shape4) -> Shape4 {
+        assert!(input.h >= self.k && input.w >= self.k, "{}: input smaller than kernel", self.name);
+        Shape4::new(
+            input.n,
+            input.c,
+            (input.h - self.k) / self.stride + 1,
+            (input.w - self.k) / self.stride + 1,
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let is = input.shape();
+        let os = self.out_shape(is);
+        let mut out = Tensor::zeros(os);
+        self.argmax.resize(os.len(), 0);
+        self.in_shape = is;
+
+        let data = input.data();
+        let odata = out.data_mut();
+        let mut oi = 0usize;
+        for n in 0..is.n {
+            for c in 0..is.c {
+                let base = (n * is.c + c) * is.plane_len();
+                for oy in 0..os.h {
+                    for ox in 0..os.w {
+                        let y0 = oy * self.stride;
+                        let x0 = ox * self.stride;
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = base + y0 * is.w + x0;
+                        for ky in 0..self.k {
+                            let row = base + (y0 + ky) * is.w + x0;
+                            for kx in 0..self.k {
+                                let v = data[row + kx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = row + kx;
+                                }
+                            }
+                        }
+                        odata[oi] = best;
+                        self.argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.argmax.len(), "{}: backward before forward", self.name);
+        let mut grad_in = Tensor::zeros(self.in_shape);
+        let gi = grad_in.data_mut();
+        for (g, &idx) in grad_out.data().iter().zip(&self.argmax) {
+            gi[idx] += g;
+        }
+        grad_in
+    }
+
+    fn forward_flops_per_image(&self, input: Shape4) -> u64 {
+        // One compare per kernel tap per output element.
+        let os = self.out_shape(input.with_n(1));
+        (os.len() * self.k * self.k) as u64
+    }
+
+    fn backward_flops_per_image(&self, input: Shape4) -> u64 {
+        self.out_shape(input.with_n(1)).len() as u64
+    }
+}
+
+/// Global average pooling: `(n, c, h, w) → (n, c, 1, 1)`.
+pub struct GlobalAvgPool {
+    name: String,
+    in_shape: Shape4,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), in_shape: Shape4::new(0, 0, 0, 0) }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn out_shape(&self, input: Shape4) -> Shape4 {
+        Shape4::new(input.n, input.c, 1, 1)
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let is = input.shape();
+        self.in_shape = is;
+        let mut out = Tensor::zeros(self.out_shape(is));
+        let plane = is.plane_len();
+        let inv = 1.0 / plane as f32;
+        for n in 0..is.n {
+            for c in 0..is.c {
+                let base = (n * is.c + c) * plane;
+                let s: f32 = input.data()[base..base + plane].iter().sum();
+                out.data_mut()[n * is.c + c] = s * inv;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let is = self.in_shape;
+        assert_eq!(grad_out.shape(), self.out_shape(is), "{}: grad shape mismatch", self.name);
+        let mut grad_in = Tensor::zeros(is);
+        let plane = is.plane_len();
+        let inv = 1.0 / plane as f32;
+        for n in 0..is.n {
+            for c in 0..is.c {
+                let g = grad_out.data()[n * is.c + c] * inv;
+                let base = (n * is.c + c) * plane;
+                for v in &mut grad_in.data_mut()[base..base + plane] {
+                    *v = g;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn forward_flops_per_image(&self, input: Shape4) -> u64 {
+        input.item_len() as u64
+    }
+
+    fn backward_flops_per_image(&self, input: Shape4) -> u64 {
+        input.item_len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidl_tensor::TensorRng;
+
+    #[test]
+    fn maxpool_2x2_basic() {
+        let mut p = MaxPool2d::new("p", 2, 2);
+        let x = Tensor::from_vec(
+            Shape4::new(1, 1, 4, 4),
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, -4.0, 0.25, 0.75,
+            ],
+        );
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), Shape4::new(1, 1, 2, 2));
+        assert_eq!(y.data(), &[4.0, 8.0, -1.0, 0.75]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new("p", 2, 2);
+        let x = Tensor::from_vec(
+            Shape4::new(1, 1, 2, 2),
+            vec![1.0, 9.0, 3.0, 4.0],
+        );
+        p.forward(&x);
+        let g = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![5.0]);
+        let gx = p.backward(&g);
+        assert_eq!(gx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_gradient_check() {
+        let mut rng = TensorRng::new(7);
+        let mut p = MaxPool2d::new("p", 2, 2);
+        let x = rng.uniform_tensor(Shape4::new(2, 3, 6, 6), -1.0, 1.0);
+        let y = p.forward(&x);
+        let ones = Tensor::filled(y.shape(), 1.0);
+        let gx = p.backward(&ones);
+        // Sum of input grads equals number of output elements (each output
+        // routes exactly one unit of gradient).
+        assert!((gx.sum() - y.len() as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn maxpool_odd_input_truncates() {
+        let p = MaxPool2d::new("p", 2, 2);
+        assert_eq!(p.out_shape(Shape4::new(1, 1, 5, 5)), Shape4::new(1, 1, 2, 2));
+    }
+
+    #[test]
+    fn gap_averages_planes() {
+        let mut g = GlobalAvgPool::new("gap");
+        let x = Tensor::from_vec(
+            Shape4::new(1, 2, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+        );
+        let y = g.forward(&x);
+        assert_eq!(y.shape(), Shape4::new(1, 2, 1, 1));
+        assert_eq!(y.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn gap_backward_spreads_uniformly() {
+        let mut g = GlobalAvgPool::new("gap");
+        let x = Tensor::filled(Shape4::new(1, 1, 2, 2), 3.0);
+        g.forward(&x);
+        let dy = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![8.0]);
+        let dx = g.backward(&dy);
+        assert_eq!(dx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_finite_difference() {
+        let mut rng = TensorRng::new(3);
+        let mut g = GlobalAvgPool::new("gap");
+        let x = rng.uniform_tensor(Shape4::new(1, 2, 3, 3), -1.0, 1.0);
+        let y = g.forward(&x);
+        let ones = Tensor::filled(y.shape(), 1.0);
+        let dx = g.backward(&ones);
+        let eps = 1e-3f32;
+        for idx in [0usize, 8, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = g.forward(&xp).sum();
+            let lm = g.forward(&xm).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((dx.data()[idx] - num).abs() < 1e-2);
+        }
+    }
+}

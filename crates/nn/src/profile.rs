@@ -1,0 +1,162 @@
+//! Wall-clock per-layer profiler — the "real kernels" side of Fig. 5.
+//!
+//! The paper's Fig. 5 breaks single-node runtime into per-layer
+//! contributions and FLOP rates at batch size 8. This module measures the
+//! same decomposition for our Rust kernels on the host machine; the
+//! KNL-calibrated *simulated* version of the figure lives in
+//! `scidl-cluster` (the two are printed side by side by the Fig. 5
+//! harness).
+
+use crate::network::Network;
+use scidl_tensor::{Shape4, Tensor, TensorRng};
+use std::time::Instant;
+
+/// Timing and FLOP-rate entry for one layer.
+#[derive(Clone, Debug)]
+pub struct LayerProfile {
+    /// Layer name.
+    pub name: String,
+    /// Mean forward seconds per iteration (whole minibatch).
+    pub forward_secs: f64,
+    /// Mean backward seconds per iteration.
+    pub backward_secs: f64,
+    /// Forward FLOPs per iteration.
+    pub forward_flops: u64,
+    /// Backward FLOPs per iteration.
+    pub backward_flops: u64,
+}
+
+impl LayerProfile {
+    /// Total seconds (forward + backward).
+    pub fn total_secs(&self) -> f64 {
+        self.forward_secs + self.backward_secs
+    }
+
+    /// Achieved FLOP rate over forward+backward, in FLOP/s.
+    pub fn flop_rate(&self) -> f64 {
+        let t = self.total_secs();
+        if t <= 0.0 {
+            0.0
+        } else {
+            (self.forward_flops + self.backward_flops) as f64 / t
+        }
+    }
+}
+
+/// Profiles every layer of `net` over `reps` training iterations at the
+/// given input shape (batch included in `input.n`), after `warmup`
+/// untimed iterations. Input data is random.
+pub fn profile_network(net: &mut Network, input: Shape4, warmup: usize, reps: usize) -> Vec<LayerProfile> {
+    assert!(reps > 0, "need at least one timed repetition");
+    let mut rng = TensorRng::new(0xF165);
+    let x = rng.uniform_tensor(input, -1.0, 1.0);
+
+    let layer_count = net.layers().len();
+    let mut fwd = vec![0.0f64; layer_count];
+    let mut bwd = vec![0.0f64; layer_count];
+    let mut shapes = Vec::with_capacity(layer_count);
+    {
+        let mut s = input;
+        for l in net.layers() {
+            shapes.push(s);
+            s = l.out_shape(s);
+        }
+    }
+    let out_shape = net.out_shape(input);
+
+    for it in 0..warmup + reps {
+        let timed = it >= warmup;
+        // Forward, timing each layer.
+        let mut act = x.clone();
+        for (i, l) in net.layers_mut().iter_mut().enumerate() {
+            let t0 = Instant::now();
+            act = l.forward(&act);
+            if timed {
+                fwd[i] += t0.elapsed().as_secs_f64();
+            }
+        }
+        // Backward with a unit gradient.
+        let mut g = Tensor::filled(out_shape, 1.0);
+        for (i, l) in net.layers_mut().iter_mut().enumerate().rev() {
+            let t0 = Instant::now();
+            g = l.backward(&g);
+            if timed {
+                bwd[i] += t0.elapsed().as_secs_f64();
+            }
+        }
+        // Keep gradient buffers from growing unboundedly.
+        use crate::network::Model;
+        net.zero_grads();
+    }
+
+    let batch = input.n as u64;
+    net.layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| LayerProfile {
+            name: l.name().to_string(),
+            forward_secs: fwd[i] / reps as f64,
+            backward_secs: bwd[i] / reps as f64,
+            forward_flops: batch * l.forward_flops_per_image(shapes[i]),
+            backward_flops: batch * l.backward_flops_per_image(shapes[i]),
+        })
+        .collect()
+}
+
+/// Aggregate throughput over a profile: total FLOPs / total seconds.
+pub fn aggregate_flop_rate(profiles: &[LayerProfile]) -> f64 {
+    let flops: u64 = profiles.iter().map(|p| p.forward_flops + p.backward_flops).sum();
+    let secs: f64 = profiles.iter().map(|p| p.total_secs()).sum();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        flops as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, MaxPool2d, Relu};
+
+    fn small_net() -> Network {
+        let mut rng = TensorRng::new(1);
+        Network::new("p")
+            .push(Conv2d::new("conv1", 1, 8, 3, 1, 1, &mut rng))
+            .push(Relu::new("relu1"))
+            .push(MaxPool2d::new("pool1", 2, 2))
+            .push(Conv2d::new("conv2", 8, 8, 3, 1, 1, &mut rng))
+    }
+
+    #[test]
+    fn profile_covers_all_layers_with_positive_times() {
+        let mut net = small_net();
+        let p = profile_network(&mut net, Shape4::new(2, 1, 16, 16), 1, 2);
+        assert_eq!(p.len(), 4);
+        for lp in &p {
+            assert!(lp.forward_secs >= 0.0);
+            assert!(lp.backward_secs >= 0.0);
+        }
+        // Convolutions dominate FLOPs.
+        assert!(p[0].forward_flops > p[1].forward_flops);
+    }
+
+    #[test]
+    fn flop_rate_is_finite_and_positive_for_conv() {
+        let mut net = small_net();
+        let p = profile_network(&mut net, Shape4::new(4, 1, 32, 32), 1, 3);
+        let conv = &p[0];
+        assert!(conv.flop_rate() > 0.0);
+        assert!(conv.flop_rate().is_finite());
+        assert!(aggregate_flop_rate(&p) > 0.0);
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let mut net = small_net();
+        let p1 = profile_network(&mut net, Shape4::new(1, 1, 16, 16), 0, 1);
+        let mut net2 = small_net();
+        let p8 = profile_network(&mut net2, Shape4::new(8, 1, 16, 16), 0, 1);
+        assert_eq!(p8[0].forward_flops, 8 * p1[0].forward_flops);
+    }
+}

@@ -1,0 +1,247 @@
+//! Low-precision training utilities.
+//!
+//! Sec. VIII-A: "There has been a lot of discussion surrounding training
+//! with quantized weights and activations [44], [45]. The statistical
+//! implications of low precision training are still being explored [46],
+//! [47], with various forms of *stochastic rounding* being of critical
+//! importance in convergence." This module provides the ingredients that
+//! discussion refers to:
+//!
+//! * bfloat16 emulation (truncate / round-to-nearest of the f32
+//!   mantissa) — the numeric format later HPC systems adopted,
+//! * stochastic rounding to an arbitrary fixed-point grid,
+//! * linear 8-bit quantise/dequantise with per-buffer scale, used by the
+//!   compressed all-reduce in `scidl-comm`.
+
+use scidl_tensor::TensorRng;
+
+/// Rounds an `f32` to bfloat16 precision (round-to-nearest-even on the
+/// top 7 mantissa bits), returned as `f32`.
+#[inline]
+pub fn bf16_round(x: f32) -> f32 {
+    let bits = x.to_bits();
+    // Round to nearest even on bit 16.
+    let lsb = (bits >> 16) & 1;
+    let rounded = bits.wrapping_add(0x7FFF + lsb);
+    f32::from_bits(rounded & 0xFFFF_0000)
+}
+
+/// Applies bf16 rounding to a whole buffer in place.
+pub fn bf16_round_slice(data: &mut [f32]) {
+    for v in data.iter_mut() {
+        *v = bf16_round(*v);
+    }
+}
+
+/// Stochastic rounding of `x` to the grid `step * k` (k integer): the
+/// result is the *unbiased* randomised choice between the two
+/// neighbouring grid points — `E[round(x)] == x` — which is the property
+/// refs. [46]/[47] identify as critical for low-precision convergence.
+#[inline]
+pub fn stochastic_round(x: f32, step: f32, rng: &mut TensorRng) -> f32 {
+    assert!(step > 0.0, "step must be positive");
+    let scaled = x / step;
+    let floor = scaled.floor();
+    let frac = scaled - floor;
+    let up = rng.uniform() < frac as f64;
+    (floor + if up { 1.0 } else { 0.0 }) * step
+}
+
+/// Stochastically rounds a buffer in place.
+pub fn stochastic_round_slice(data: &mut [f32], step: f32, rng: &mut TensorRng) {
+    for v in data.iter_mut() {
+        *v = stochastic_round(*v, step, rng);
+    }
+}
+
+/// An 8-bit linearly quantised buffer with a per-buffer scale.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizedBuffer {
+    /// Quantised values, symmetric around zero (−127..=127).
+    pub values: Vec<i8>,
+    /// Dequantisation scale: `f32 = i8 as f32 * scale`.
+    pub scale: f32,
+}
+
+impl QuantizedBuffer {
+    /// Quantises with deterministic round-to-nearest (the shared wire
+    /// codec from `scidl_tensor::ops`).
+    pub fn quantize(data: &[f32]) -> Self {
+        let (values, scale) = scidl_tensor::ops::quantize_i8(data);
+        Self { values, scale }
+    }
+
+    /// Quantises with stochastic rounding (unbiased).
+    pub fn quantize_stochastic(data: &[f32], rng: &mut TensorRng) -> Self {
+        let max = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+        let values = data
+            .iter()
+            .map(|&x| {
+                let q = stochastic_round(x / scale, 1.0, rng);
+                q.clamp(-127.0, 127.0) as i8
+            })
+            .collect();
+        Self { values, scale }
+    }
+
+    /// Dequantises into a fresh buffer.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.values.iter().map(|&q| q as f32 * self.scale).collect()
+    }
+
+    /// Wire size in bytes (values + scale) — a 3.99x shrink vs f32 for
+    /// large buffers, the saving Sec. VIII-B's "communicating high-order
+    /// bits of weight updates" is after.
+    pub fn wire_bytes(&self) -> usize {
+        self.values.len() + std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_is_idempotent_and_close() {
+        for &x in &[0.0f32, 1.0, -1.0, 3.14159, 1e-8, 1e8, -123.456] {
+            let r = bf16_round(x);
+            assert_eq!(bf16_round(r), r, "idempotent at {x}");
+            if x != 0.0 {
+                let rel = ((r - x) / x).abs();
+                assert!(rel < 0.01, "bf16({x}) = {r}, rel err {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_exact_for_small_integers() {
+        for i in -256i32..=256 {
+            let x = i as f32;
+            assert_eq!(bf16_round(x), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        let mut rng = TensorRng::new(3);
+        let x = 0.3f32;
+        let n = 40_000;
+        let mean: f64 = (0..n)
+            .map(|_| stochastic_round(x, 1.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn stochastic_rounding_lands_on_grid() {
+        let mut rng = TensorRng::new(5);
+        for _ in 0..200 {
+            let x = rng.uniform_range(-10.0, 10.0) as f32;
+            let r = stochastic_round(x, 0.25, &mut rng);
+            let k = r / 0.25;
+            assert!((k - k.round()).abs() < 1e-4, "{r} not on 0.25 grid");
+            assert!((r - x).abs() <= 0.2501, "{r} too far from {x}");
+        }
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let mut rng = TensorRng::new(7);
+        let data: Vec<f32> = (0..1000).map(|_| rng.uniform_range(-2.0, 2.0) as f32).collect();
+        let q = QuantizedBuffer::quantize(&data);
+        let back = q.dequantize();
+        let max = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let bound = max / 127.0 * 0.51;
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_zero_buffer() {
+        let q = QuantizedBuffer::quantize(&[0.0; 8]);
+        assert!(q.dequantize().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn stochastic_quantize_mean_preserved() {
+        let mut rng = TensorRng::new(11);
+        let data = vec![0.013f32; 4096];
+        let q = QuantizedBuffer::quantize_stochastic(&data, &mut rng);
+        let back = q.dequantize();
+        let mean: f64 = back.iter().map(|&x| x as f64).sum::<f64>() / back.len() as f64;
+        assert!((mean - 0.013).abs() < 5e-4, "mean {mean}");
+    }
+
+    #[test]
+    fn wire_bytes_are_one_quarter() {
+        let q = QuantizedBuffer::quantize(&vec![1.0f32; 1024]);
+        assert_eq!(q.wire_bytes(), 1024 + 4);
+    }
+
+    /// End-to-end: a real network trains when every gradient is rounded
+    /// to bfloat16 — the numeric regime Sec. VIII-A anticipates for
+    /// future low-precision hardware.
+    #[test]
+    fn bf16_gradients_train_a_real_network() {
+        use crate::loss::SoftmaxCrossEntropy;
+        use crate::network::Model;
+        use crate::solver::{Adam, Solver};
+        use scidl_tensor::{Shape4, Tensor};
+
+        let mut rng = TensorRng::new(88);
+        let mut net = crate::arch::hep_small(&mut rng);
+        let n = 8;
+        let mut x = Tensor::zeros(Shape4::new(n, 3, 32, 32));
+        let mut labels = vec![0usize; n];
+        for i in 0..n {
+            labels[i] = i % 2;
+            let v = if i % 2 == 0 { 0.8 } else { -0.8 };
+            x.item_mut(i).iter_mut().for_each(|p| *p = v);
+        }
+        let mut solver = Adam::new(1e-2);
+        let sizes: Vec<usize> = net.param_blocks().iter().map(|b| b.len()).collect();
+        let mut flat = net.flat_params();
+        let mut first = None;
+        let mut last = 0.0f32;
+        for _ in 0..25 {
+            net.set_flat_params(&flat);
+            net.zero_grads();
+            let logits = net.forward(&x);
+            let (loss, grad) = SoftmaxCrossEntropy::forward(&logits, &labels);
+            net.backward(&grad);
+            let mut g = net.flat_grads();
+            bf16_round_slice(&mut g); // the low-precision step
+            let mut off = 0;
+            for (i, &len) in sizes.iter().enumerate() {
+                solver.step_block(i, &mut flat[off..off + len], &g[off..off + len]);
+                off += len;
+            }
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(
+            last < first.unwrap() * 0.5,
+            "bf16 gradients must still train: {first:?} -> {last}"
+        );
+    }
+
+    /// End-to-end: SGD on a quadratic still converges when gradients are
+    /// stochastically rounded to 8-bit — but diverges from the optimum
+    /// when deterministic truncation kills small gradients.
+    #[test]
+    fn low_precision_sgd_converges_with_stochastic_rounding() {
+        let mut rng = TensorRng::new(13);
+        let mut w = 4.0f32;
+        let lr = 0.05f32;
+        for _ in 0..4000 {
+            let g = w - 1.0; // minimise (w-1)^2/2
+            let q = QuantizedBuffer::quantize_stochastic(&[g], &mut rng);
+            let gq = q.dequantize()[0];
+            w -= lr * gq;
+        }
+        assert!((w - 1.0).abs() < 0.1, "w = {w}");
+    }
+}

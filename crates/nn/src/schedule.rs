@@ -1,0 +1,203 @@
+//! Learning-rate schedules and automatic momentum tuning.
+//!
+//! Sec. VIII-B: hybrid schemes "add an extra parameter to be tuned, which
+//! stresses the need for principled momentum tuning approaches, an active
+//! area of research (eg. [25] and recently [48])". This module provides:
+//!
+//! * classic learning-rate schedules (constant, step decay, linear
+//!   warmup) that wrap any [`Solver`](crate::Solver),
+//! * [`AutoMomentum`] — a simplified YellowFin-style tuner (Zhang,
+//!   Mitliagkas & Ré [48]) that tracks the gradient's variance and range
+//!   online and derives momentum/learning-rate from the noisy-quadratic
+//!   model, optionally composed with the asynchrony correction of [31].
+
+use crate::solver::asynchrony_adjusted_momentum;
+
+/// A learning-rate schedule: maps the iteration counter to a multiplier
+/// of the base learning rate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` iterations.
+    StepDecay {
+        /// Iterations between decays.
+        every: usize,
+        /// Decay factor per step.
+        gamma: f32,
+    },
+    /// Linear warmup from `start_factor` to 1 over `steps` iterations,
+    /// constant afterwards (the standard large-batch warmup recipe).
+    Warmup {
+        /// Warmup length in iterations.
+        steps: usize,
+        /// Initial multiplier.
+        start_factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning-rate multiplier at iteration `t` (0-based).
+    pub fn factor(&self, t: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => {
+                assert!(every > 0, "decay period must be positive");
+                gamma.powi((t / every) as i32)
+            }
+            LrSchedule::Warmup { steps, start_factor } => {
+                if steps == 0 || t >= steps {
+                    1.0
+                } else {
+                    start_factor + (1.0 - start_factor) * (t as f32 / steps as f32)
+                }
+            }
+        }
+    }
+}
+
+/// Online statistics driving the YellowFin-style tuner: exponential
+/// moving estimates of the squared gradient norm and its extremes.
+#[derive(Clone, Debug)]
+pub struct AutoMomentum {
+    /// EMA decay for the statistics.
+    pub beta: f64,
+    /// Number of asynchronous groups (for the implicit-momentum
+    /// correction of [31]; 1 = synchronous).
+    pub groups: usize,
+    h_min: f64,
+    h_max: f64,
+    grad_sq: f64,
+    steps: u64,
+}
+
+impl AutoMomentum {
+    /// Creates a tuner; `groups` enables the asynchrony correction.
+    pub fn new(groups: usize) -> Self {
+        Self { beta: 0.9, groups: groups.max(1), h_min: f64::MAX, h_max: 0.0, grad_sq: 0.0, steps: 0 }
+    }
+
+    /// Feeds one iteration's gradient; returns `(momentum, lr_factor)` —
+    /// the explicit momentum to configure and a multiplier for the base
+    /// learning rate.
+    ///
+    /// The derivation follows YellowFin's noisy-quadratic argument: with
+    /// curvature range `[h_min, h_max]`, the momentum that equalises the
+    /// convergence rate across the spectrum is
+    /// `μ* = ((√(h_max/h_min) − 1)/(√(h_max/h_min) + 1))²`, and the
+    /// gradient-norm EMA scales the step. We proxy the curvature range by
+    /// the observed squared-gradient-norm range — exact for quadratics
+    /// sampled at stationary distance, a usable heuristic elsewhere.
+    pub fn observe(&mut self, grad: &[f32]) -> (f32, f32) {
+        let sq: f64 = grad.iter().map(|&g| g as f64 * g as f64).sum();
+        self.steps += 1;
+        let b = self.beta;
+        self.grad_sq = if self.steps == 1 { sq } else { b * self.grad_sq + (1.0 - b) * sq };
+        self.h_min = self.h_min.min(sq.max(1e-24));
+        self.h_max = self.h_max.max(sq);
+
+        let ratio = (self.h_max / self.h_min.max(1e-24)).max(1.0);
+        let sqrt_r = ratio.sqrt();
+        let mu_star = ((sqrt_r - 1.0) / (sqrt_r + 1.0)).powi(2);
+        // Cap at the usual 0.9 and correct for asynchrony-induced
+        // implicit momentum.
+        let target = (mu_star as f32).min(0.9);
+        let momentum = asynchrony_adjusted_momentum(target, self.groups);
+        // LR factor: damp steps when the gradient is noisy relative to
+        // its smoothed norm.
+        let lr_factor = if self.grad_sq > 0.0 {
+            ((self.grad_sq / (sq + 1e-24)).sqrt() as f32).clamp(0.25, 4.0)
+        } else {
+            1.0
+        };
+        (momentum, lr_factor)
+    }
+
+    /// Observed squared-gradient-norm range `(min, max)`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.h_min, self.h_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_is_one() {
+        for t in [0usize, 10, 1000] {
+            assert_eq!(LrSchedule::Constant.factor(t), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_holds() {
+        let s = LrSchedule::Warmup { steps: 10, start_factor: 0.1 };
+        assert_eq!(s.factor(0), 0.1);
+        assert!((s.factor(5) - 0.55).abs() < 1e-6);
+        assert_eq!(s.factor(10), 1.0);
+        assert_eq!(s.factor(100), 1.0);
+    }
+
+    #[test]
+    fn auto_momentum_is_zero_for_uniform_gradients() {
+        let mut t = AutoMomentum::new(1);
+        // Identical gradient norms → curvature ratio 1 → momentum 0.
+        for _ in 0..20 {
+            let (mu, _) = t.observe(&[1.0, 1.0]);
+            assert!(mu < 1e-6, "mu {mu}");
+        }
+    }
+
+    #[test]
+    fn auto_momentum_grows_with_gradient_range() {
+        let mut t = AutoMomentum::new(1);
+        t.observe(&[0.1]);
+        let (mu, _) = t.observe(&[10.0]);
+        assert!(mu > 0.5, "wide range should imply high momentum: {mu}");
+        assert!(mu <= 0.9);
+    }
+
+    #[test]
+    fn asynchrony_correction_lowers_momentum() {
+        let mut sync = AutoMomentum::new(1);
+        let mut hybrid = AutoMomentum::new(8);
+        sync.observe(&[0.1]);
+        hybrid.observe(&[0.1]);
+        let (mu_s, _) = sync.observe(&[10.0]);
+        let (mu_h, _) = hybrid.observe(&[10.0]);
+        assert!(mu_h < mu_s, "8 groups must get less explicit momentum: {mu_h} vs {mu_s}");
+    }
+
+    #[test]
+    fn lr_factor_damps_noisy_steps() {
+        let mut t = AutoMomentum::new(1);
+        for _ in 0..50 {
+            t.observe(&[1.0]);
+        }
+        // A sudden huge gradient: factor < 1 (damped).
+        let (_, f) = t.observe(&[100.0]);
+        assert!(f < 1.0, "noisy spike should be damped: {f}");
+        assert!(f >= 0.25);
+    }
+
+    #[test]
+    fn range_tracks_extremes() {
+        let mut t = AutoMomentum::new(1);
+        t.observe(&[2.0]); // sq 4
+        t.observe(&[1.0]); // sq 1
+        t.observe(&[3.0]); // sq 9
+        let (lo, hi) = t.range();
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 9.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Winograd fast convolution, F(2x2, 3x3).
+//!
+//! Sec. VIII-A lists Winograd-style algorithms (Lavin & Gray [43]) as the
+//! rapidly evolving state of the art the paper did *not* yet use:
+//! "studying the impact on per-node performance and scale out behaviour
+//! of these algorithms is a direction for future research". This module
+//! implements the classic F(2x2, 3x3) transform — 2.25x fewer
+//! multiplications per output than direct convolution — as an alternate
+//! forward path for 3x3/stride-1 convolutions, bit-compatible (within
+//! floating-point tolerance) with [`crate::Conv2d`].
+//!
+//! Transforms (Lavin & Gray, 2015):
+//!
+//! ```text
+//! Y = A^T [ (G g G^T) ⊙ (B^T d B) ] A
+//! ```
+//!
+//! with 4x4 input tiles `d`, 3x3 filters `g`, and
+//!
+//! ```text
+//! B^T = [1  0 -1  0;  0 1 1 0;  0 -1 1 0;  0 1 0 -1]
+//! G   = [1 0 0;  ½ ½ ½;  ½ -½ ½;  0 0 1]
+//! A^T = [1 1 1 0;  0 1 -1 -1]
+//! ```
+
+use scidl_tensor::{Shape4, Tensor};
+
+/// Transforms one 3x3 filter into the 4x4 Winograd domain: `G g G^T`.
+fn filter_transform(g: &[f32; 9]) -> [f32; 16] {
+    // Gg (4x3)
+    let mut gg = [0.0f32; 12];
+    for col in 0..3 {
+        let (a, b, c) = (g[col], g[3 + col], g[6 + col]);
+        gg[col] = a;
+        gg[3 + col] = 0.5 * (a + b + c);
+        gg[6 + col] = 0.5 * (a - b + c);
+        gg[9 + col] = c;
+    }
+    // (Gg) G^T (4x4)
+    let mut out = [0.0f32; 16];
+    for row in 0..4 {
+        let (a, b, c) = (gg[row * 3], gg[row * 3 + 1], gg[row * 3 + 2]);
+        out[row * 4] = a;
+        out[row * 4 + 1] = 0.5 * (a + b + c);
+        out[row * 4 + 2] = 0.5 * (a - b + c);
+        out[row * 4 + 3] = c;
+    }
+    out
+}
+
+/// Transforms one 4x4 input tile: `B^T d B`.
+#[inline]
+fn input_transform(d: &[f32; 16]) -> [f32; 16] {
+    // B^T d (rows)
+    let mut t = [0.0f32; 16];
+    for col in 0..4 {
+        let (d0, d1, d2, d3) = (d[col], d[4 + col], d[8 + col], d[12 + col]);
+        t[col] = d0 - d2;
+        t[4 + col] = d1 + d2;
+        t[8 + col] = d2 - d1;
+        t[12 + col] = d1 - d3;
+    }
+    // (B^T d) B (cols)
+    let mut out = [0.0f32; 16];
+    for row in 0..4 {
+        let (t0, t1, t2, t3) = (t[row * 4], t[row * 4 + 1], t[row * 4 + 2], t[row * 4 + 3]);
+        out[row * 4] = t0 - t2;
+        out[row * 4 + 1] = t1 + t2;
+        out[row * 4 + 2] = t2 - t1;
+        out[row * 4 + 3] = t1 - t3;
+    }
+    out
+}
+
+/// Output transform: `A^T m A`, 4x4 → 2x2.
+#[inline]
+fn output_transform(m: &[f32; 16]) -> [f32; 4] {
+    // A^T m (2x4)
+    let mut t = [0.0f32; 8];
+    for col in 0..4 {
+        let (m0, m1, m2, m3) = (m[col], m[4 + col], m[8 + col], m[12 + col]);
+        t[col] = m0 + m1 + m2;
+        t[4 + col] = m1 - m2 - m3;
+    }
+    // (A^T m) A (2x2)
+    [
+        t[0] + t[1] + t[2],
+        t[1] - t[2] - t[3],
+        t[4] + t[5] + t[6],
+        t[5] - t[6] - t[7],
+    ]
+}
+
+/// Winograd F(2x2, 3x3) forward convolution for stride-1, pad-1 3x3
+/// kernels (the HEP network's shape). `weight` is `(cout, cin, 3, 3)`,
+/// `bias` has `cout` entries, input is NCHW with even `h`, `w`.
+///
+/// Returns the same result as the im2col+GEMM path up to floating-point
+/// reassociation.
+pub fn winograd_conv3x3(input: &Tensor, weight: &Tensor, bias: &[f32]) -> Tensor {
+    let is = input.shape();
+    let ws = weight.shape();
+    assert_eq!(ws.h, 3, "winograd path requires 3x3 kernels");
+    assert_eq!(ws.w, 3);
+    assert_eq!(ws.c, is.c, "channel mismatch");
+    assert_eq!(bias.len(), ws.n, "bias length mismatch");
+    assert!(
+        is.h.is_multiple_of(2) && is.w.is_multiple_of(2),
+        "even spatial dims required for 2x2 tiles"
+    );
+    let (cin, cout) = (is.c, ws.n);
+    let (h, w) = (is.h, is.w);
+
+    // Pre-transform all filters.
+    let mut uf = vec![0.0f32; cout * cin * 16];
+    for co in 0..cout {
+        for ci in 0..cin {
+            let mut g = [0.0f32; 9];
+            g.copy_from_slice(&weight.data()[(co * cin + ci) * 9..(co * cin + ci) * 9 + 9]);
+            let u = filter_transform(&g);
+            uf[(co * cin + ci) * 16..(co * cin + ci) * 16 + 16].copy_from_slice(&u);
+        }
+    }
+
+    let tiles_y = h / 2;
+    let tiles_x = w / 2;
+    let mut out = Tensor::zeros(Shape4::new(is.n, cout, h, w));
+
+    for n in 0..is.n {
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                // Gather the padded 4x4 input tile per channel and
+                // transform it once; accumulate over channels in the
+                // Winograd domain per output channel.
+                let mut m = vec![[0.0f32; 16]; cout];
+                for ci in 0..cin {
+                    let mut d = [0.0f32; 16];
+                    for dy in 0..4usize {
+                        let iy = (2 * ty + dy) as isize - 1;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for dx in 0..4usize {
+                            let ix = (2 * tx + dx) as isize - 1;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            d[dy * 4 + dx] = input.at(n, ci, iy as usize, ix as usize);
+                        }
+                    }
+                    let v = input_transform(&d);
+                    for co in 0..cout {
+                        let u = &uf[(co * cin + ci) * 16..(co * cin + ci) * 16 + 16];
+                        let acc = &mut m[co];
+                        for i in 0..16 {
+                            acc[i] += u[i] * v[i];
+                        }
+                    }
+                }
+                for co in 0..cout {
+                    let y = output_transform(&m[co]);
+                    let b = bias[co];
+                    *out.at_mut(n, co, 2 * ty, 2 * tx) = y[0] + b;
+                    *out.at_mut(n, co, 2 * ty, 2 * tx + 1) = y[1] + b;
+                    *out.at_mut(n, co, 2 * ty + 1, 2 * tx) = y[2] + b;
+                    *out.at_mut(n, co, 2 * ty + 1, 2 * tx + 1) = y[3] + b;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multiplication count per 2x2 output tile per channel pair: 16 for
+/// Winograd vs 36 for direct 3x3 — the 2.25x reduction of [43].
+pub const WINOGRAD_MULS_PER_TILE: usize = 16;
+/// Direct-convolution multiplications per 2x2 output tile.
+pub const DIRECT_MULS_PER_TILE: usize = 36;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2d;
+    use crate::layer::Layer;
+    use scidl_tensor::TensorRng;
+
+    #[test]
+    fn matches_im2col_convolution() {
+        let mut rng = TensorRng::new(42);
+        for &(cin, cout, hw) in &[(1usize, 1usize, 4usize), (3, 8, 8), (8, 16, 6)] {
+            let mut conv = Conv2d::new("c", cin, cout, 3, 1, 1, &mut rng);
+            let x = rng.uniform_tensor(Shape4::new(2, cin, hw, hw), -1.0, 1.0);
+            let reference = conv.forward(&x);
+            let weight = &conv.params()[0].value;
+            let bias: Vec<f32> = conv.params()[1].value.data().to_vec();
+            let wout = winograd_conv3x3(&x, weight, &bias);
+            assert_eq!(wout.shape(), reference.shape());
+            let err = wout.max_abs_diff(&reference);
+            assert!(err < 1e-4, "cin={cin} cout={cout} hw={hw}: max err {err}");
+        }
+    }
+
+    #[test]
+    fn identity_filter_passes_input_through() {
+        // Filter with 1 at the centre ⇒ output == input (pad 1, stride 1).
+        let mut w = Tensor::zeros(Shape4::new(1, 1, 3, 3));
+        *w.at_mut(0, 0, 1, 1) = 1.0;
+        let mut rng = TensorRng::new(7);
+        let x = rng.uniform_tensor(Shape4::new(1, 1, 6, 6), -1.0, 1.0);
+        let y = winograd_conv3x3(&x, &w, &[0.0]);
+        assert!(y.max_abs_diff(&x) < 1e-5);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let w = Tensor::zeros(Shape4::new(2, 1, 3, 3));
+        let x = Tensor::zeros(Shape4::new(1, 1, 4, 4));
+        let y = winograd_conv3x3(&x, &w, &[1.5, -2.0]);
+        assert!(y.data()[..16].iter().all(|&v| v == 1.5));
+        assert!(y.data()[16..].iter().all(|&v| v == -2.0));
+    }
+
+    #[test]
+    fn multiplication_saving_is_2_25x() {
+        assert_eq!(DIRECT_MULS_PER_TILE as f64 / WINOGRAD_MULS_PER_TILE as f64, 2.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial dims")]
+    fn rejects_odd_inputs() {
+        let w = Tensor::zeros(Shape4::new(1, 1, 3, 3));
+        let x = Tensor::zeros(Shape4::new(1, 1, 5, 5));
+        let _ = winograd_conv3x3(&x, &w, &[0.0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Radix-2 complex FFT and 2-D helpers.
+//!
+//! Substrate for FFT-based convolution (`scidl-nn::fftconv`) — together
+//! with Winograd, one of the two fast-convolution algorithm families the
+//! paper names as future work (Sec. VIII-A, ref. [43]). Iterative
+//! in-place Cooley–Tukey over interleaved `(re, im)` pairs; sizes must
+//! be powers of two.
+
+/// A complex value as `(re, im)`.
+pub type Complex = (f32, f32);
+
+#[inline]
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+#[inline]
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
+/// `inverse` computes the unscaled inverse transform (callers divide by
+/// `n` once, which [`ifft`] does).
+pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0f64 } else { -1.0f64 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = (ang.cos() as f32, ang.sin() as f32);
+        for start in (0..n).step_by(len) {
+            let mut w: Complex = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = c_mul(data[start + k + len / 2], w);
+                data[start + k] = c_add(u, v);
+                data[start + k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal into a fresh complex buffer.
+pub fn fft_real(data: &[f32]) -> Vec<Complex> {
+    let mut c: Vec<Complex> = data.iter().map(|&x| (x, 0.0)).collect();
+    fft_inplace(&mut c, false);
+    c
+}
+
+/// Inverse FFT returning the real parts, scaled by `1/n`.
+pub fn ifft(mut data: Vec<Complex>) -> Vec<f32> {
+    let n = data.len();
+    fft_inplace(&mut data, true);
+    let inv = 1.0 / n as f32;
+    data.into_iter().map(|(re, _)| re * inv).collect()
+}
+
+/// 2-D FFT of a row-major `size x size` complex grid, in place
+/// (rows, then columns).
+pub fn fft2_inplace(grid: &mut [Complex], size: usize, inverse: bool) {
+    assert_eq!(grid.len(), size * size, "grid must be size^2");
+    // Rows.
+    for row in grid.chunks_mut(size) {
+        fft_inplace(row, inverse);
+    }
+    // Columns via transpose-free strided gather/scatter.
+    let mut col = vec![(0.0f32, 0.0f32); size];
+    for c in 0..size {
+        for r in 0..size {
+            col[r] = grid[r * size + c];
+        }
+        fft_inplace(&mut col, inverse);
+        for r in 0..size {
+            grid[r * size + c] = col[r];
+        }
+    }
+}
+
+/// Elementwise complex product `a ⊙ b` accumulated into `acc`.
+pub fn accumulate_product(acc: &mut [Complex], a: &[Complex], b: &[Complex]) {
+    assert_eq!(acc.len(), a.len());
+    assert_eq!(a.len(), b.len());
+    for ((dst, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+        let p = c_mul(x, y);
+        *dst = c_add(*dst, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft_inplace(&mut data, false);
+        for &(re, im) in &data {
+            assert!((re - 1.0).abs() < 1e-6 && im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let signal: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin()).collect();
+        let spectrum = fft_real(&signal);
+        let back = ifft(spectrum);
+        for (a, b) in signal.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let signal: Vec<f32> = (0..32).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+        let time_energy: f64 = signal.iter().map(|&x| x as f64 * x as f64).sum();
+        let spectrum = fft_real(&signal);
+        let freq_energy: f64 = spectrum
+            .iter()
+            .map(|&(re, im)| (re as f64).powi(2) + (im as f64).powi(2))
+            .sum::<f64>()
+            / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-3 * time_energy);
+    }
+
+    #[test]
+    fn convolution_theorem_1d() {
+        // Circular convolution via FFT equals the direct computation.
+        let n = 8;
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let h: Vec<f32> = (0..n).map(|i| if i < 3 { 1.0 } else { 0.0 }).collect();
+        let mut direct = vec![0.0f32; n];
+        for i in 0..n {
+            for j in 0..n {
+                direct[(i + j) % n] += x[i] * h[j];
+            }
+        }
+        let fx = fft_real(&x);
+        let fh = fft_real(&h);
+        let mut prod = vec![(0.0, 0.0); n];
+        accumulate_product(&mut prod, &fx, &fh);
+        let via_fft = ifft(prod);
+        for (a, b) in direct.iter().zip(&via_fft) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fft2_roundtrip() {
+        let size = 8;
+        let mut grid: Vec<Complex> = (0..size * size)
+            .map(|i| (((i * 13 + 5) % 17) as f32 - 8.0, 0.0))
+            .collect();
+        let original = grid.clone();
+        fft2_inplace(&mut grid, size, false);
+        fft2_inplace(&mut grid, size, true);
+        let inv = 1.0 / (size * size) as f32;
+        for (a, b) in grid.iter().zip(&original) {
+            assert!((a.0 * inv - b.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![(0.0, 0.0); 6];
+        fft_inplace(&mut data, false);
+    }
+}

@@ -1,0 +1,340 @@
+//! Blocked, parallel single-precision GEMM.
+//!
+//! Deep-learning workloads lower convolutions onto GEMM with tall-skinny
+//! operands (the paper relies on MKL 2017's DNN primitives for this; we
+//! build our own). The implementation uses:
+//!
+//! * rayon parallelism over blocks of rows of `C` (mirroring the 66-core
+//!   OpenMP parallelism of a KNL node),
+//! * a cache-blocked `k` loop for the `NN` case,
+//! * inner loops written so the compiler auto-vectorises them (contiguous
+//!   traversal of the innermost dimension).
+//!
+//! All four transpose combinations are supported; the `NN` and `NT` cases
+//! used by conv forward/backward are the fast paths.
+
+use rayon::prelude::*;
+
+/// Whether an operand is used as stored or transposed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Transpose {
+    /// Use the matrix as stored (row-major `rows x cols`).
+    No,
+    /// Use the transpose of the stored matrix.
+    Yes,
+}
+
+/// Row block size for parallel partitioning of C.
+const MC: usize = 64;
+/// K-dimension cache block for the NN kernel.
+const KC: usize = 256;
+/// Work (m*n*k) below which the sequential kernel is used.
+const PAR_WORK: usize = 1 << 16;
+
+/// Computes `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// `A`, `B`, `C` are dense row-major buffers. Logical dimensions:
+/// `op(A)` is `m x k`, `op(B)` is `k x n`, `C` is `m x n`. When
+/// `ta == Transpose::Yes`, `A` is stored `k x m`; when
+/// `tb == Transpose::Yes`, `B` is stored `n x k`.
+///
+/// Panics if any buffer is too small for its logical dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert!(a.len() >= m * k, "A buffer too small: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B buffer too small: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C buffer too small: {} < {}", c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Degenerate product is the zero matrix; only beta-scaling remains.
+        scale_c(&mut c[..m * n], beta);
+        return;
+    }
+
+    if m * n * k < PAR_WORK {
+        block_kernel(ta, tb, 0, m, m, n, k, alpha, a, b, beta, &mut c[..m * n]);
+        return;
+    }
+
+    c[..m * n]
+        .par_chunks_mut(MC * n)
+        .enumerate()
+        .for_each(|(blk, c_blk)| {
+            let i0 = blk * MC;
+            let rows = c_blk.len() / n;
+            block_kernel(ta, tb, i0, rows, m, n, k, alpha, a, b, beta, c_blk);
+        });
+}
+
+#[inline]
+fn scale_c(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.iter_mut().for_each(|x| *x = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|x| *x *= beta);
+    }
+}
+
+/// Computes the row block `C[i0..i0+rows, :]` (`c_blk` is that slice).
+/// `m` is the full logical row count, needed to index transposed A.
+#[allow(clippy::too_many_arguments)]
+fn block_kernel(
+    ta: Transpose,
+    tb: Transpose,
+    i0: usize,
+    rows: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c_blk: &mut [f32],
+) {
+    scale_c(c_blk, beta);
+
+    match (ta, tb) {
+        (Transpose::No, Transpose::No) => {
+            // C[i,j] += alpha * sum_p A[i,p] * B[p,j]; axpy over rows of B.
+            for p0 in (0..k).step_by(KC) {
+                let pend = (p0 + KC).min(k);
+                for i in 0..rows {
+                    let arow = &a[(i0 + i) * k..(i0 + i) * k + k];
+                    let crow = &mut c_blk[i * n..(i + 1) * n];
+                    for p in p0..pend {
+                        let av = alpha * arow[p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n..p * n + n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+        (Transpose::No, Transpose::Yes) => {
+            // B stored n x k; dot products of contiguous rows.
+            for i in 0..rows {
+                let arow = &a[(i0 + i) * k..(i0 + i) * k + k];
+                let crow = &mut c_blk[i * n..(i + 1) * n];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let brow = &b[j * k..j * k + k];
+                    let mut acc = 0.0f32;
+                    for (av, bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    *cv += alpha * acc;
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::No) => {
+            // A stored k x m; op(A)[i,p] = A[p, i].
+            for p in 0..k {
+                let arow = &a[p * m..p * m + m];
+                let brow = &b[p * n..p * n + n];
+                for i in 0..rows {
+                    let av = alpha * arow[i0 + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut c_blk[i * n..(i + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::Yes) => {
+            for i in 0..rows {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a[p * m + i0 + i] * b[j * k + p];
+                    }
+                    c_blk[i * n + j] += alpha * acc;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: `C = op(A) * op(B)` with a per-row bias added, i.e.
+/// `C[i, :] += bias[i]`. Used by dense layers.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+) {
+    assert_eq!(bias.len(), m, "bias length must equal m");
+    gemm(ta, tb, m, n, k, 1.0, a, b, 0.0, c);
+    for i in 0..m {
+        let bi = bias[i];
+        for cv in &mut c[i * n..(i + 1) * n] {
+            *cv += bi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference implementation with f64 accumulation.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_ref(
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    let av = match ta {
+                        Transpose::No => a[i * k + p],
+                        Transpose::Yes => a[p * m + i],
+                    };
+                    let bv = match tb {
+                        Transpose::No => b[p * n + j],
+                        Transpose::Yes => b[j * k + p],
+                    };
+                    acc += av as f64 * bv as f64;
+                }
+                c[i * n + j] = alpha * acc as f32 + beta * c[i * n + j];
+            }
+        }
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 2000) as f32 - 1000.0) / 500.0
+            })
+            .collect()
+    }
+
+    fn check(ta: Transpose, tb: Transpose, m: usize, n: usize, k: usize, alpha: f32, beta: f32) {
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let mut c = fill(m * n, 3);
+        let mut c_ref = c.clone();
+        gemm(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c);
+        gemm_ref(ta, tb, m, n, k, alpha, &a, &b, beta, &mut c_ref);
+        let max_err = c
+            .iter()
+            .zip(&c_ref)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        // f32 accumulation over k terms; tolerance scales with k.
+        let tol = 1e-4 * (k as f32).sqrt() * 16.0;
+        assert!(
+            max_err < tol,
+            "gemm {ta:?}{tb:?} m={m} n={n} k={k}: max err {max_err} > {tol}"
+        );
+    }
+
+    #[test]
+    fn small_all_transposes() {
+        for ta in [Transpose::No, Transpose::Yes] {
+            for tb in [Transpose::No, Transpose::Yes] {
+                check(ta, tb, 3, 4, 5, 1.0, 0.0);
+                check(ta, tb, 1, 1, 1, 1.0, 0.0);
+                check(ta, tb, 5, 1, 7, 1.0, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_combinations() {
+        check(Transpose::No, Transpose::No, 7, 9, 11, 0.5, 2.0);
+        check(Transpose::No, Transpose::Yes, 7, 9, 11, -1.0, 1.0);
+        check(Transpose::Yes, Transpose::No, 7, 9, 11, 2.0, 0.5);
+        check(Transpose::Yes, Transpose::Yes, 7, 9, 11, 1.5, -0.5);
+    }
+
+    #[test]
+    fn large_parallel_paths() {
+        // Cross the parallel threshold and the MC block boundary, with a
+        // ragged final block (130 = 2*64 + 2).
+        for ta in [Transpose::No, Transpose::Yes] {
+            for tb in [Transpose::No, Transpose::Yes] {
+                check(ta, tb, 130, 70, 33, 1.0, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tall_skinny_conv_shapes() {
+        // Typical im2col shape: m = out_channels, k = cin*kh*kw, n = oh*ow.
+        check(Transpose::No, Transpose::No, 128, 196, 1152, 1.0, 0.0);
+        // Weight-gradient shape: m = cout, n = cin*kh*kw, k = oh*ow.
+        check(Transpose::No, Transpose::Yes, 128, 1152, 196, 1.0, 1.0);
+        // Backward-data shape: (cin*kh*kw) x (oh*ow) = W^T * dY.
+        check(Transpose::Yes, Transpose::No, 1152, 196, 128, 1.0, 0.0);
+    }
+
+    #[test]
+    fn k_zero_scales_c() {
+        let mut c = vec![2.0f32; 6];
+        gemm(Transpose::No, Transpose::No, 2, 3, 0, 1.0, &[], &[], 0.5, &mut c);
+        assert!(c.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn m_zero_is_noop() {
+        let mut c: Vec<f32> = vec![];
+        gemm(Transpose::No, Transpose::No, 0, 0, 5, 1.0, &[], &[], 0.0, &mut c);
+    }
+
+    #[test]
+    fn gemm_bias_adds_rowwise() {
+        // 2x2 identity times [[1,2],[3,4]] plus bias [10, 20].
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let bias = vec![10.0, 20.0];
+        let mut c = vec![0.0; 4];
+        gemm_bias(Transpose::No, Transpose::No, 2, 2, 2, &a, &b, &bias, &mut c);
+        assert_eq!(c, vec![11.0, 12.0, 23.0, 24.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A buffer too small")]
+    fn rejects_short_a() {
+        let mut c = vec![0.0; 4];
+        gemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0, &[1.0; 3], &[1.0; 4], 0.0, &mut c);
+    }
+}

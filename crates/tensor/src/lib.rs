@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # scidl-tensor
+//!
+//! Minimal, fast NCHW tensor library underpinning the scidl deep-learning
+//! stack. It provides exactly the dense-linear-algebra substrate that the
+//! paper's IntelCaffe + MKL 2017 combination provided on Xeon Phi:
+//!
+//! * a contiguous, `f32`, NCHW [`Tensor`] type with shape/stride machinery,
+//! * rayon-parallel elementwise and reduction kernels,
+//! * a blocked, parallel SGEMM ([`gemm`]) tuned for the tall-skinny shapes
+//!   produced by `im2col` convolution lowering,
+//! * [`im2col`]/[`col2im`] lowering used by the convolution and
+//!   deconvolution layers in `scidl-nn`.
+//!
+//! The crate is deliberately free of `unsafe` except for a few
+//! bounds-check-free inner loops in the GEMM micro-kernel; every such use
+//! is covered by unit and property tests against a naive reference.
+//!
+//! ## Example
+//!
+//! ```
+//! use scidl_tensor::{Tensor, Shape4};
+//!
+//! let a = Tensor::filled(Shape4::new(1, 3, 4, 4), 2.0);
+//! let b = Tensor::filled(Shape4::new(1, 3, 4, 4), 3.0);
+//! let mut c = a.clone();
+//! c.add_assign(&b);
+//! assert_eq!(c.data()[0], 5.0);
+//! ```
+
+pub mod fft;
+pub mod gemm;
+pub mod im2col;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use gemm::{gemm, gemm_bias, Transpose};
+pub use im2col::{col2im, im2col, ConvGeometry};
+pub use rng::TensorRng;
+pub use shape::Shape4;
+pub use tensor::Tensor;
+
+/// Threshold (in elements) above which elementwise kernels switch from a
+/// plain sequential loop to a rayon-parallel one. Small tensors are not
+/// worth the fork-join overhead.
+pub(crate) const PAR_THRESHOLD: usize = 1 << 14;

@@ -1,0 +1,208 @@
+//! Free-standing numerical kernels shared across the stack: stable softmax,
+//! argmax, one-hot encoding and slice-level vector helpers used by the
+//! solvers and communication buffers.
+
+use rayon::prelude::*;
+
+/// Numerically stable softmax over a contiguous row, in place.
+pub fn softmax_inplace(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - m).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Index of the maximum element; ties resolve to the first. Panics on an
+/// empty slice.
+pub fn argmax(row: &[f32]) -> usize {
+    assert!(!row.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    let mut bv = row[0];
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > bv {
+            bv = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Writes a one-hot row of length `classes` for label `label` into `out`.
+pub fn one_hot(label: usize, classes: usize, out: &mut [f32]) {
+    assert!(label < classes, "label {label} out of range {classes}");
+    assert_eq!(out.len(), classes);
+    out.iter_mut().for_each(|v| *v = 0.0);
+    out[label] = 1.0;
+}
+
+/// `dst += src` over raw slices (gradient accumulation in comm buffers).
+pub fn slice_add(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "slice_add length mismatch");
+    if dst.len() >= crate::PAR_THRESHOLD {
+        dst.par_iter_mut().zip(src.par_iter()).for_each(|(a, &b)| *a += b);
+    } else {
+        dst.iter_mut().zip(src.iter()).for_each(|(a, &b)| *a += b);
+    }
+}
+
+/// `dst *= s` over a raw slice.
+pub fn slice_scale(dst: &mut [f32], s: f32) {
+    if dst.len() >= crate::PAR_THRESHOLD {
+        dst.par_iter_mut().for_each(|a| *a *= s);
+    } else {
+        dst.iter_mut().for_each(|a| *a *= s);
+    }
+}
+
+/// Dot product with f64 accumulation.
+pub fn slice_dot(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slice_dot length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+/// Symmetric linear 8-bit quantisation of a buffer: returns `(values,
+/// scale)` with `f32 ≈ i8 as f32 * scale`. The shared wire codec used by
+/// both the low-precision training utilities (`scidl-nn::quant`) and the
+/// compressed all-reduce (`scidl-comm::compress`).
+pub fn quantize_i8(data: &[f32]) -> (Vec<i8>, f32) {
+    let max = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+    let values = data
+        .iter()
+        .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (values, scale)
+}
+
+/// Inverse of [`quantize_i8`], writing into `out` (must match length).
+pub fn dequantize_i8(values: &[i8], scale: f32, out: &mut [f32]) {
+    assert_eq!(values.len(), out.len(), "dequantize length mismatch");
+    for (o, &q) in out.iter_mut().zip(values) {
+        *o = q as f32 * scale;
+    }
+}
+
+/// Clips every element of `g` so the slice's L2 norm is at most
+/// `max_norm`; returns the pre-clip norm. A no-op when already within
+/// bounds or when `max_norm` is non-positive.
+pub fn clip_norm(g: &mut [f32], max_norm: f64) -> f64 {
+    let norm: f64 = g.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt();
+    if max_norm > 0.0 && norm > max_norm {
+        let s = (max_norm / norm) as f32;
+        slice_scale(g, s);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut r = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut r);
+        let s: f32 = r.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(r[2] > r[1] && r[1] > r[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![1000.0, 1001.0];
+        softmax_inplace(&mut a);
+        let mut b = vec![0.0, 1.0];
+        softmax_inplace(&mut b);
+        assert!((a[0] - b[0]).abs() < 1e-6);
+        assert!(a.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut r: Vec<f32> = vec![];
+        softmax_inplace(&mut r);
+    }
+
+    #[test]
+    fn argmax_ties_to_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn one_hot_sets_single_bit() {
+        let mut out = vec![9.0; 4];
+        one_hot(2, 4, &mut out);
+        assert_eq!(out, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_bad_label() {
+        let mut out = vec![0.0; 2];
+        one_hot(2, 2, &mut out);
+    }
+
+    #[test]
+    fn slice_ops() {
+        let mut a = vec![1.0, 2.0];
+        slice_add(&mut a, &[10.0, 20.0]);
+        assert_eq!(a, vec![11.0, 22.0]);
+        slice_scale(&mut a, 0.5);
+        assert_eq!(a, vec![5.5, 11.0]);
+        assert_eq!(slice_dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn clip_norm_caps_large_gradients() {
+        let mut g = vec![3.0, 4.0]; // norm 5
+        let pre = clip_norm(&mut g, 1.0);
+        assert!((pre - 5.0).abs() < 1e-9);
+        let post: f64 = g.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt();
+        assert!((post - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_norm_noop_when_small() {
+        let mut g = vec![0.3, 0.4];
+        clip_norm(&mut g, 1.0);
+        assert_eq!(g, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn quantize_i8_roundtrip_error_bounded() {
+        let data: Vec<f32> = (-100..100).map(|i| i as f32 * 0.017).collect();
+        let (q, scale) = quantize_i8(&data);
+        let mut back = vec![0.0; data.len()];
+        dequantize_i8(&q, scale, &mut back);
+        let max = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= max / 127.0 * 0.51, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_i8_preserves_extremes() {
+        let (q, scale) = quantize_i8(&[-3.0, 0.0, 3.0]);
+        assert_eq!(q, vec![-127, 0, 127]);
+        let mut back = vec![0.0; 3];
+        dequantize_i8(&q, scale, &mut back);
+        assert!((back[2] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantize_i8_zero_buffer_is_stable() {
+        let (q, scale) = quantize_i8(&[0.0; 5]);
+        assert!(q.iter().all(|&v| v == 0));
+        assert_eq!(scale, 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! 4-D NCHW shape type and index arithmetic.
+
+use std::fmt;
+
+/// Shape of a 4-D tensor in NCHW layout: `(batch, channels, height, width)`.
+///
+/// All tensors in scidl are logically 4-D; vectors and matrices are
+/// represented with singleton trailing dimensions (e.g. a weight matrix of
+/// a dense layer is `(out, in, 1, 1)`), which is the same convention Caffe
+/// blobs used.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Batch (N) dimension.
+    pub n: usize,
+    /// Channel (C) dimension.
+    pub c: usize,
+    /// Height (H) dimension.
+    pub h: usize,
+    /// Width (W) dimension.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a new shape. Any dimension may be 1 but none may be 0 for a
+    /// usable tensor; zero-sized shapes are permitted so empty datasets can
+    /// be represented, but most kernels will simply do no work on them.
+    #[inline]
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// A flat 1-D shape `(1, len, 1, 1)`.
+    #[inline]
+    pub const fn flat(len: usize) -> Self {
+        Self::new(1, len, 1, 1)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// True when the shape holds no elements.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Elements per batch item (C*H*W).
+    #[inline]
+    pub const fn item_len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Elements per channel plane (H*W).
+    #[inline]
+    pub const fn plane_len(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Flat offset of element `(n, c, h, w)` in row-major NCHW order.
+    #[inline]
+    pub const fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Inverse of [`offset`](Self::offset): decompose a flat index.
+    #[inline]
+    pub const fn coords(&self, idx: usize) -> (usize, usize, usize, usize) {
+        let w = idx % self.w;
+        let rest = idx / self.w;
+        let h = rest % self.h;
+        let rest = rest / self.h;
+        let c = rest % self.c;
+        let n = rest / self.c;
+        (n, c, h, w)
+    }
+
+    /// Returns the same shape with a different batch dimension. Used when
+    /// carving minibatches out of datasets.
+    #[inline]
+    pub const fn with_n(&self, n: usize) -> Self {
+        Self::new(n, self.c, self.h, self.w)
+    }
+
+    /// Size in bytes of an f32 tensor of this shape.
+    #[inline]
+    pub const fn bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f32>()
+    }
+}
+
+impl fmt::Debug for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}x{}x{}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_item_len() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.item_len(), 60);
+        assert_eq!(s.plane_len(), 20);
+        assert_eq!(s.bytes(), 480);
+    }
+
+    #[test]
+    fn offset_is_row_major() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.offset(0, 0, 0, 0), 0);
+        assert_eq!(s.offset(0, 0, 0, 1), 1);
+        assert_eq!(s.offset(0, 0, 1, 0), 5);
+        assert_eq!(s.offset(0, 1, 0, 0), 20);
+        assert_eq!(s.offset(1, 0, 0, 0), 60);
+        assert_eq!(s.offset(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let s = Shape4::new(3, 2, 5, 7);
+        for idx in 0..s.len() {
+            let (n, c, h, w) = s.coords(idx);
+            assert_eq!(s.offset(n, c, h, w), idx);
+        }
+    }
+
+    #[test]
+    fn flat_shape() {
+        let s = Shape4::flat(17);
+        assert_eq!(s.len(), 17);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.c, 17);
+    }
+
+    #[test]
+    fn with_n_changes_only_batch() {
+        let s = Shape4::new(8, 3, 224, 224).with_n(2);
+        assert_eq!(s, Shape4::new(2, 3, 224, 224));
+    }
+
+    #[test]
+    fn empty_shape() {
+        assert!(Shape4::new(0, 3, 4, 4).is_empty());
+        assert!(!Shape4::new(1, 1, 1, 1).is_empty());
+    }
+}

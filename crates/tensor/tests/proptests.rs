@@ -1,0 +1,139 @@
+//! Property-based tests for the tensor substrate: GEMM against a naive
+//! reference, im2col/col2im adjointness, and algebraic identities of the
+//! elementwise kernels.
+
+use proptest::prelude::*;
+use scidl_tensor::{col2im, gemm, im2col, ConvGeometry, Shape4, Tensor, Transpose};
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100i32..100).prop_map(|v| v as f32 / 8.0)
+}
+
+fn vec_of(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(small_f32(), len)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_ref(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                let av = match ta {
+                    Transpose::No => a[i * k + p],
+                    Transpose::Yes => a[p * m + i],
+                };
+                let bv = match tb {
+                    Transpose::No => b[p * n + j],
+                    Transpose::Yes => b[j * k + p],
+                };
+                acc += av as f64 * bv as f64;
+            }
+            c[i * n + j] = acc as f32;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..20,
+        n in 1usize..20,
+        k in 1usize..20,
+        seed in any::<u64>(),
+        ta_flag in any::<bool>(),
+        tb_flag in any::<bool>(),
+    ) {
+        let ta = if ta_flag { Transpose::Yes } else { Transpose::No };
+        let tb = if tb_flag { Transpose::Yes } else { Transpose::No };
+        let mut rng = scidl_tensor::TensorRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_range(-2.0, 2.0) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_range(-2.0, 2.0) as f32).collect();
+        let mut c = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+        gemm_ref(ta, tb, m, n, k, &a, &b, &mut c_ref);
+        for (x, y) in c.iter().zip(&c_ref) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        cin in 1usize..4,
+        h in 3usize..10,
+        w in 3usize..10,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geo = ConvGeometry::new(cin, 1, h, w, k, stride, pad);
+        let ilen = cin * h * w;
+        let clen = geo.col_rows() * geo.col_cols();
+        let mut rng = scidl_tensor::TensorRng::new(seed);
+        let x: Vec<f32> = (0..ilen).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let y: Vec<f32> = (0..clen).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+
+        let mut cx = vec![0.0; clen];
+        im2col(&geo, &x, &mut cx);
+        let lhs: f64 = cx.iter().zip(&y).map(|(a, b)| *a as f64 * *b as f64).sum();
+
+        let mut xy = vec![0.0; ilen];
+        col2im(&geo, &y, &mut xy);
+        let rhs: f64 = x.iter().zip(&xy).map(|(a, b)| *a as f64 * *b as f64).sum();
+
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn add_sub_roundtrip(v in vec_of(32), w in vec_of(32)) {
+        let a0 = Tensor::from_flat(v);
+        let b = Tensor::from_flat(w);
+        let mut a = a0.clone();
+        a.add_assign(&b);
+        a.sub_assign(&b);
+        prop_assert!(a.max_abs_diff(&a0) < 1e-4);
+    }
+
+    #[test]
+    fn axpy_matches_scale_add(alpha in small_f32(), v in vec_of(16), w in vec_of(16)) {
+        let mut a = Tensor::from_flat(v.clone());
+        a.axpy(alpha, &Tensor::from_flat(w.clone()));
+        for i in 0..16 {
+            let expect = v[i] + alpha * w[i];
+            prop_assert!((a.data()[i] - expect).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batch_slice_preserves_items(n in 1usize..6, chw in 1usize..20, seed in any::<u64>()) {
+        let mut rng = scidl_tensor::TensorRng::new(seed);
+        let t = rng.uniform_tensor(Shape4::new(n, chw, 1, 1), -1.0, 1.0);
+        for i in 0..n {
+            let s = t.batch_slice(i, 1);
+            prop_assert_eq!(s.data(), t.item(i));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one(v in vec_of(9)) {
+        let mut row = v;
+        scidl_tensor::ops::softmax_inplace(&mut row);
+        let s: f32 = row.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-4);
+        prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration: the communication layer carrying real model
+//! gradients — all-reduce equivalence between algorithms, and per-layer
+//! parameter servers driving a real network.
+
+use scidl_comm::ps::UpdateFn;
+use scidl_comm::{ring_allreduce_mean, CommWorld, PsBank, RingFabric};
+use scidl_data::{HepConfig, HepDataset};
+use scidl_nn::network::Model;
+use scidl_nn::{Sgd, Solver};
+use scidl_tensor::TensorRng;
+use std::sync::Arc;
+use std::thread;
+
+/// Ring and tree all-reduce agree on real gradient buffers.
+#[test]
+fn ring_and_tree_allreduce_agree_on_real_gradients() {
+    let n = 4;
+    let ds = Arc::new(HepDataset::generate(HepConfig::small(), 4 * n, 31));
+
+    // Compute per-rank gradients.
+    let grads: Vec<Vec<f32>> = (0..n)
+        .map(|r| {
+            let mut rng = TensorRng::new(7);
+            let mut model = scidl_nn::arch::hep_small(&mut rng);
+            let idx: Vec<usize> = (r * 4..(r + 1) * 4).collect();
+            scidl_core::task::hep_gradient(&mut model, &ds, &idx).1
+        })
+        .collect();
+
+    // Tree.
+    let comms = CommWorld::new(n);
+    let tree_handles: Vec<_> = comms
+        .into_iter()
+        .zip(grads.clone())
+        .map(|(c, mut g)| {
+            thread::spawn(move || {
+                c.allreduce_mean(&mut g);
+                g
+            })
+        })
+        .collect();
+    let tree: Vec<Vec<f32>> = tree_handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Ring.
+    let endpoints = RingFabric::new(n).into_endpoints();
+    let ring_handles: Vec<_> = endpoints
+        .into_iter()
+        .enumerate()
+        .zip(grads)
+        .map(|((rank, (tx, rx)), mut g)| {
+            thread::spawn(move || {
+                ring_allreduce_mean(rank, n, &mut g, &tx, &rx);
+                g
+            })
+        })
+        .collect();
+    let ring: Vec<Vec<f32>> = ring_handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (t, r) in tree[0].iter().zip(&ring[0]) {
+        assert!((t - r).abs() < 1e-5, "{t} vs {r}");
+    }
+    // All ranks hold identical results.
+    for rank in 1..n {
+        assert_eq!(tree[0], tree[rank]);
+    }
+}
+
+/// A per-layer PS bank can drive a real network block-by-block and
+/// produces the same update as a local solver step.
+#[test]
+fn ps_bank_matches_local_solver_on_real_model() {
+    let mut rng = TensorRng::new(77);
+    let mut model = scidl_nn::arch::hep_small(&mut rng);
+    let ds = HepDataset::generate(HepConfig::small(), 8, 55);
+    let idx: Vec<usize> = (0..8).collect();
+    let (_, grads) = scidl_core::task::hep_gradient(&mut model, &ds, &idx);
+
+    let lr = 0.01f32;
+    let block_sizes: Vec<usize> = model.param_blocks().iter().map(|b| b.len()).collect();
+
+    // Local update.
+    let mut local = model.flat_params();
+    {
+        let mut solver = Sgd::new(lr, 0.0);
+        let mut off = 0;
+        for (i, &len) in block_sizes.iter().enumerate() {
+            solver.step_block(i, &mut local[off..off + len], &grads[off..off + len]);
+            off += len;
+        }
+    }
+
+    // PS bank update.
+    let bank = PsBank::spawn(
+        model
+            .param_blocks()
+            .iter()
+            .map(|b| {
+                let mut solver = Sgd::new(lr, 0.0);
+                let u: UpdateFn = Box::new(move |p: &mut [f32], g: &[f32]| solver.step_block(0, p, g));
+                (b.value.data().to_vec(), u)
+            })
+            .collect(),
+    );
+    let mut blocks = Vec::new();
+    let mut off = 0;
+    for &len in &block_sizes {
+        blocks.push(grads[off..off + len].to_vec());
+        off += len;
+    }
+    let replies = bank.update_all(blocks);
+    let remote: Vec<f32> = replies.into_iter().flat_map(|r| r.params).collect();
+
+    assert_eq!(local.len(), remote.len());
+    for (a, b) in local.iter().zip(&remote) {
+        assert!((a - b).abs() < 1e-7);
+    }
+}
+
+/// Group splitting covers every rank exactly once with contiguous sizes —
+/// the MLSL-extension behaviour of Sec. III-E(b).
+#[test]
+fn comm_world_split_partitions_ranks() {
+    for (n, groups) in [(8usize, 2usize), (9, 3), (10, 4), (16, 16)] {
+        let members = CommWorld::split(n, groups);
+        assert_eq!(members.len(), n);
+        let mut per_group = vec![0usize; groups];
+        for (g, c) in &members {
+            per_group[*g] += 1;
+            assert!(c.size() >= 1);
+        }
+        assert_eq!(per_group.iter().sum::<usize>(), n);
+        let max = per_group.iter().max().unwrap();
+        let min = per_group.iter().min().unwrap();
+        assert!(max - min <= 1, "groups should be balanced: {per_group:?}");
+    }
+}
