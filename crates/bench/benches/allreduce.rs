@@ -49,7 +49,7 @@ fn bench_ring_allreduce(c: &mut Criterion) {
                     .map(|(rank, (tx, rx))| {
                         thread::spawn(move || {
                             let mut data = vec![1.0f32; len];
-                            ring_allreduce_mean(rank, n, &mut data, &tx, &rx);
+                            ring_allreduce_mean(rank, n, &mut data, &tx, &rx).unwrap();
                             data[0]
                         })
                     })
@@ -84,7 +84,7 @@ fn bench_ps_bank(c: &mut Criterion) {
             );
             bench.iter(|| {
                 let grads: Vec<Vec<f32>> = (0..nb).map(|_| vec![1.0f32; per]).collect();
-                let replies = bank.update_all(grads);
+                let replies = bank.update_all(grads).unwrap();
                 replies[0].version
             })
         });

@@ -16,12 +16,14 @@ fn main() {
             format!("{nodes} nodes / sync"),
             if r.sync_failed { "DIED".into() } else { "survived".into() },
             r.sync_iterations_done.to_string(),
+            "0".into(),
             "-".into(),
         ]);
         table.push(vec![
             format!("{nodes} nodes / hybrid-{groups}"),
             format!("{}/{} groups alive", r.hybrid_live_groups, groups),
             r.hybrid_iterations_done.to_string(),
+            "0".into(),
             format!(
                 "{}x more work done",
                 if r.sync_iterations_done > 0 {
@@ -31,9 +33,19 @@ fn main() {
                 }
             ),
         ]);
+        table.push(vec![
+            format!("{nodes} nodes / hybrid-{groups} + recovery"),
+            format!("{}/{} groups alive", r.recovery_live_groups, groups),
+            r.recovery_iterations_done.to_string(),
+            r.recovered_iterations.to_string(),
+            "crashed group rejoins from the PS bank".into(),
+        ]);
     }
     println!(
         "{}",
-        markdown_table(&["configuration", "outcome", "iterations completed", "note"], &table)
+        markdown_table(
+            &["configuration", "outcome", "iterations completed", "recovered iterations", "note"],
+            &table
+        )
     );
 }

@@ -1,0 +1,234 @@
+//! Declarative fault injection shared by both backends.
+//!
+//! Sec. VIII-A of the paper studies what failures do to each
+//! configuration: a synchronous run dies with its first node, a hybrid
+//! run only loses the affected group. A [`FaultPlan`] turns that study
+//! into a first-class input: it describes *scheduled* group crashes, PS
+//! crashes, stragglers and message delays, plus an optional recovery
+//! policy, and both the thread engine (`scidl-core::thread_engine`) and
+//! the discrete-event simulator ([`crate::sim`]) accept one and inject
+//! the same scenario at their own timescales.
+//!
+//! Quantities come in engine-appropriate units: crash points and MTTR
+//! are given both in iterations (thread engine) and seconds (simulator);
+//! each backend reads the field it understands.
+
+/// A compute group dying at a given iteration (its node is lost).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupCrash {
+    /// Which group dies.
+    pub group: usize,
+    /// Iteration at which it dies (before doing the iteration's work).
+    pub iteration: usize,
+}
+
+/// A parameter-server shard dying after serving some requests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PsCrash {
+    /// Which PS shard (layer block) dies.
+    pub shard: usize,
+    /// The shard dies after this many successfully served requests.
+    pub after_requests: u64,
+    /// Simulator: wall-clock seconds to restart the shard from its
+    /// snapshot. The thread engine's supervisor respawns threads in
+    /// microseconds, so it ignores this.
+    pub repair_secs: f64,
+}
+
+/// A group running slow for a window of iterations (degraded node,
+/// OS jitter storm, thermal throttling).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Straggler {
+    /// Which group is slow.
+    pub group: usize,
+    /// First affected iteration (inclusive).
+    pub from_iter: usize,
+    /// Last affected iteration (exclusive).
+    pub to_iter: usize,
+    /// Compute-time multiplier (`2.0` = twice as slow). Must be ≥ 1.
+    pub factor: f64,
+}
+
+/// Extra latency injected in front of a group's PS exchange at one
+/// iteration (congested link, adaptive-routing detour).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MessageDelay {
+    /// Which group's exchange is delayed.
+    pub group: usize,
+    /// Iteration whose exchange is delayed.
+    pub iteration: usize,
+    /// Added latency in seconds (the thread engine sleeps this long,
+    /// so keep it small — e.g. `0.002` — in thread-engine scenarios).
+    pub secs: f64,
+}
+
+/// Recovery policy for crashed groups. Without one, a dead group stays
+/// dead — the seed behaviour and the paper's baseline observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Recovery {
+    /// Thread engine: iterations a crashed group sits out before it
+    /// re-fetches the model from the PS bank and resumes.
+    pub mttr_iters: u64,
+    /// Simulator: seconds between the crash and the group re-entering
+    /// the event queue.
+    pub mttr_secs: f64,
+}
+
+/// A complete fault-injection scenario.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled group deaths.
+    pub group_crashes: Vec<GroupCrash>,
+    /// Scheduled PS-shard deaths.
+    pub ps_crashes: Vec<PsCrash>,
+    /// Slow-group windows.
+    pub stragglers: Vec<Straggler>,
+    /// Per-exchange injected latencies.
+    pub message_delays: Vec<MessageDelay>,
+    /// If set, crashed groups come back after the MTTR.
+    pub recovery: Option<Recovery>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing — the fault-free baseline.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a group crash (builder style).
+    pub fn with_group_crash(mut self, group: usize, iteration: usize) -> Self {
+        self.group_crashes.push(GroupCrash { group, iteration });
+        self
+    }
+
+    /// Adds a PS-shard crash (builder style).
+    pub fn with_ps_crash(mut self, shard: usize, after_requests: u64, repair_secs: f64) -> Self {
+        self.ps_crashes.push(PsCrash { shard, after_requests, repair_secs });
+        self
+    }
+
+    /// Adds a straggler window (builder style).
+    pub fn with_straggler(
+        mut self,
+        group: usize,
+        from_iter: usize,
+        to_iter: usize,
+        factor: f64,
+    ) -> Self {
+        assert!(factor >= 1.0, "a straggler cannot be faster than healthy");
+        assert!(from_iter <= to_iter);
+        self.stragglers.push(Straggler { group, from_iter, to_iter, factor });
+        self
+    }
+
+    /// Adds a one-off message delay (builder style).
+    pub fn with_message_delay(mut self, group: usize, iteration: usize, secs: f64) -> Self {
+        assert!(secs >= 0.0);
+        self.message_delays.push(MessageDelay { group, iteration, secs });
+        self
+    }
+
+    /// Enables group recovery with the given mean-time-to-repair.
+    pub fn with_recovery(mut self, mttr_iters: u64, mttr_secs: f64) -> Self {
+        self.recovery = Some(Recovery { mttr_iters, mttr_secs });
+        self
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.group_crashes.is_empty()
+            && self.ps_crashes.is_empty()
+            && self.stragglers.is_empty()
+            && self.message_delays.is_empty()
+    }
+
+    /// Iteration at which `group` is scheduled to crash, if any. With
+    /// several crashes scheduled for one group the earliest wins.
+    pub fn group_crash_at(&self, group: usize) -> Option<usize> {
+        self.group_crashes
+            .iter()
+            .filter(|c| c.group == group)
+            .map(|c| c.iteration)
+            .min()
+    }
+
+    /// Combined slow-down multiplier for `group` at `iteration`
+    /// (overlapping windows multiply; `1.0` = healthy).
+    pub fn straggler_factor(&self, group: usize, iteration: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.group == group && (s.from_iter..s.to_iter).contains(&iteration))
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Total injected latency for `group`'s exchange at `iteration`.
+    pub fn message_delay_secs(&self, group: usize, iteration: usize) -> f64 {
+        self.message_delays
+            .iter()
+            .filter(|d| d.group == group && d.iteration == iteration)
+            .map(|d| d.secs)
+            .sum()
+    }
+
+    /// The scheduled crash for PS `shard`, if any (earliest wins).
+    pub fn ps_crash_for_shard(&self, shard: usize) -> Option<PsCrash> {
+        self.ps_crashes
+            .iter()
+            .filter(|c| c.shard == shard)
+            .min_by_key(|c| c.after_requests)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.group_crash_at(0), None);
+        assert_eq!(p.straggler_factor(0, 0), 1.0);
+        assert_eq!(p.message_delay_secs(0, 0), 0.0);
+        assert!(p.ps_crash_for_shard(0).is_none());
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let p = FaultPlan::none()
+            .with_group_crash(1, 5)
+            .with_group_crash(1, 3)
+            .with_ps_crash(0, 10, 0.5)
+            .with_straggler(2, 4, 8, 3.0)
+            .with_message_delay(0, 6, 0.25)
+            .with_recovery(2, 30.0);
+        assert!(!p.is_empty());
+        assert_eq!(p.group_crash_at(1), Some(3), "earliest crash wins");
+        assert_eq!(p.group_crash_at(0), None);
+        assert_eq!(p.ps_crash_for_shard(0).unwrap().after_requests, 10);
+        assert_eq!(p.recovery.unwrap().mttr_iters, 2);
+    }
+
+    #[test]
+    fn straggler_windows_are_half_open_and_multiply() {
+        let p = FaultPlan::none()
+            .with_straggler(0, 2, 5, 2.0)
+            .with_straggler(0, 4, 6, 1.5);
+        assert_eq!(p.straggler_factor(0, 1), 1.0);
+        assert_eq!(p.straggler_factor(0, 2), 2.0);
+        assert_eq!(p.straggler_factor(0, 4), 3.0, "overlap multiplies");
+        assert_eq!(p.straggler_factor(0, 5), 1.5, "to_iter is exclusive");
+        assert_eq!(p.straggler_factor(1, 3), 1.0, "other groups unaffected");
+    }
+
+    #[test]
+    fn message_delays_sum_per_iteration() {
+        let p = FaultPlan::none()
+            .with_message_delay(0, 3, 0.1)
+            .with_message_delay(0, 3, 0.2);
+        assert!((p.message_delay_secs(0, 3) - 0.3).abs() < 1e-12);
+        assert_eq!(p.message_delay_secs(0, 4), 0.0);
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`event`] — a generic binary-heap event calendar used both by the
 //!   throughput simulations here and by the simulated-time training
 //!   backend in `scidl-core`,
+//! * [`faults`] — declarative fault-injection scenarios ([`FaultPlan`]):
+//!   scheduled group/PS crashes, stragglers, message delays and a
+//!   recovery policy, consumed by both [`sim`] and the thread engine in
+//!   `scidl-core` (Sec. VIII-A),
 //! * [`sim`] — iteration-level cluster simulations of synchronous and
 //!   hybrid training that regenerate the scaling studies of
 //!   Figs. 6–7 and the full-system throughput numbers of Sec. VI-B3.
@@ -39,6 +43,7 @@
 
 pub mod aries;
 pub mod event;
+pub mod faults;
 pub mod jitter;
 pub mod knl;
 pub mod sim;
@@ -46,6 +51,7 @@ pub mod topology;
 
 pub use aries::AriesModel;
 pub use event::{EventQueue, SimTime};
+pub use faults::{FaultPlan, GroupCrash, MessageDelay, PsCrash, Recovery, Straggler};
 pub use jitter::JitterModel;
 pub use knl::{KnlModel, LayerCost, McdramMode, RateClass};
 pub use sim::{ClusterSim, SimConfig, SimResult};

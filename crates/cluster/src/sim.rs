@@ -18,6 +18,7 @@
 
 use crate::aries::AriesModel;
 use crate::event::EventQueue;
+use crate::faults::FaultPlan;
 use crate::jitter::JitterModel;
 use crate::knl::{KnlModel, LayerCost};
 use scidl_tensor::TensorRng;
@@ -145,6 +146,10 @@ pub struct SimConfig {
     /// communication time is what remains after hiding up to the
     /// backward half of the iteration.
     pub overlap_comm: bool,
+    /// Scheduled fault injection (group/PS crashes, stragglers, delays)
+    /// and the recovery policy (Sec. VIII-A). Random failures from
+    /// [`JitterModel`] still apply on top.
+    pub faults: FaultPlan,
     /// RNG seed.
     pub seed: u64,
 }
@@ -166,6 +171,7 @@ impl SimConfig {
             fs_bw: 2.0e8,
             num_ps: 0,
             overlap_comm: false,
+            faults: FaultPlan::none(),
             seed: 0xC0121,
         }
     }
@@ -227,6 +233,11 @@ pub struct SimResult {
     pub failure_at: Option<f64>,
     /// Groups still alive at the end.
     pub live_groups: usize,
+    /// Iterations completed by groups *after* they came back from a
+    /// crash — work the recovery policy saved (0 without recovery).
+    pub recovered_iterations: usize,
+    /// PS-shard crash/repair cycles that occurred during the run.
+    pub ps_respawns: u64,
 }
 
 impl SimResult {
@@ -256,6 +267,9 @@ enum Ev {
     GroupIterDone { group: usize, iter: usize, start: f64 },
     /// A node failure strikes the given group.
     Failure { group: usize },
+    /// A crashed group finished its repair and re-enters the run at the
+    /// given iteration (recovery policy, Sec. VIII-A).
+    GroupRecover { group: usize, iter: usize },
 }
 
 /// The cluster simulator.
@@ -320,17 +334,39 @@ impl ClusterSim {
         let mut done_iters = vec![0usize; groups];
         let mut rngs: Vec<TensorRng> = (0..groups).map(|g| rng.fork(g as u64 + 101)).collect();
 
+        // Fault-injection state: which groups came back from a crash,
+        // per-shard request counts driving scheduled PS crashes.
+        let mut recovered = vec![false; groups];
+        let mut recovered_iterations = 0usize;
+        let mut ps_respawns = 0u64;
+        let mut ps_served = vec![0u64; num_ps];
+        let mut ps_crashed = vec![false; num_ps];
+        // Recovery is a property of the hybrid design: a dead group can
+        // re-fetch the current model from the PS bank. A synchronous run
+        // has no surviving state to rejoin (Sec. VIII-A), so its death
+        // stays permanent.
+        let recovery = if hybrid { cfg.faults.recovery } else { None };
+
         let iter_flops_per_group =
             cfg.workload.flops_per_image() * cfg.batch_per_group as f64
                 + (cfg.workload.params * cfg.workload.solver_flops_per_param) as f64;
 
-        // Kick off: every group starts its first iteration at t=0.
-        for (g, grng) in rngs.iter_mut().enumerate() {
-            let dur = self.group_local_time(g, 0, &group_nodes, grng);
+        let mut failure_at: Option<f64> = None;
+
+        // Kick off: every group starts its first iteration at t=0
+        // (unless the plan kills it before it does anything).
+        for g in 0..groups {
+            if cfg.faults.group_crash_at(g) == Some(0) {
+                alive[g] = false;
+                failure_at.get_or_insert(0.0);
+                if let Some(rec) = recovery {
+                    queue.schedule(rec.mttr_secs, Ev::GroupRecover { group: g, iter: 0 });
+                }
+                continue;
+            }
+            let dur = self.group_local_time(g, 0, &group_nodes, &mut rngs[g]);
             queue.schedule(dur, Ev::GroupLocalDone { group: g, iter: 0, start: 0.0 });
         }
-
-        let mut failure_at = None;
 
         while let Some((now, ev)) = queue.pop() {
             match ev {
@@ -344,23 +380,61 @@ impl ClusterSim {
                             // A single node failure kills a synchronous run.
                             alive[0] = false;
                         }
-                        failure_at = Some(now);
+                        failure_at.get_or_insert(now);
+                        if let Some(rec) = recovery {
+                            queue.schedule(
+                                now + rec.mttr_secs,
+                                Ev::GroupRecover { group, iter: done_iters[group] },
+                            );
+                        }
                     }
+                }
+                Ev::GroupRecover { group, iter } => {
+                    if alive[group] || iter >= cfg.iterations {
+                        continue;
+                    }
+                    // The repaired group re-fetches the *current* model
+                    // from the PS bank and broadcasts it internally, then
+                    // resumes at the iteration it lost.
+                    alive[group] = true;
+                    recovered[group] = true;
+                    let refetch = cfg.net.p2p_time(cfg.workload.model_bytes)
+                        + cfg.net.broadcast_time(group_nodes[group], cfg.workload.model_bytes);
+                    let start = now + refetch;
+                    let dur = self.group_local_time(group, iter, &group_nodes, &mut rngs[group]);
+                    queue.schedule(start + dur, Ev::GroupLocalDone { group, iter, start });
                 }
                 Ev::GroupLocalDone { group, iter, start } => {
                     if !alive[group] {
                         continue;
                     }
                     if hybrid {
+                        // Injected latency in front of this exchange, if
+                        // the plan has one (congested link).
+                        let arrive = now + cfg.faults.message_delay_secs(group, iter);
                         // Fork-join over the per-layer PS bank (FIFO).
-                        let mut resume = now;
-                        for free in ps_free.iter_mut() {
-                            let begin = free.max(now);
+                        let mut resume = arrive;
+                        for (shard, free) in ps_free.iter_mut().enumerate() {
+                            let begin = free.max(arrive);
                             let service = cfg.net.p2p_time(ps_bytes) // gradient up
                                 + cfg.workload.solver_secs(ps_params) // PS applies update
                                 + cfg.net.p2p_time(ps_bytes) // model down
                                 + cfg.jitter.ps_request_delay(&mut ps_rng);
                             *free = begin + service;
+                            // Scheduled PS crash: after this many served
+                            // requests the shard dies and spends
+                            // `repair_secs` restarting from its snapshot —
+                            // later requests queue behind the repair.
+                            ps_served[shard] += 1;
+                            if !ps_crashed[shard] {
+                                if let Some(c) = cfg.faults.ps_crash_for_shard(shard) {
+                                    if ps_served[shard] >= c.after_requests {
+                                        ps_crashed[shard] = true;
+                                        ps_respawns += 1;
+                                        *free += c.repair_secs;
+                                    }
+                                }
+                            }
                             resume = resume.max(*free);
                         }
                         // Root broadcasts the fresh model to its group.
@@ -394,13 +468,31 @@ impl ClusterSim {
                         staleness,
                     });
                     done_iters[group] = iter + 1;
+                    if recovered[group] {
+                        recovered_iterations += 1;
+                    }
 
                     if iter + 1 < cfg.iterations {
-                        let dur = self.group_local_time(group, iter + 1, &group_nodes, &mut rngs[group]);
-                        queue.schedule(
-                            end + dur,
-                            Ev::GroupLocalDone { group, iter: iter + 1, start: end },
-                        );
+                        if cfg.faults.group_crash_at(group) == Some(iter + 1) && !recovered[group] {
+                            // The plan kills this group before its next
+                            // iteration. A group that already came back
+                            // once is not re-killed by the same entry.
+                            alive[group] = false;
+                            failure_at.get_or_insert(end);
+                            if let Some(rec) = recovery {
+                                queue.schedule(
+                                    end + rec.mttr_secs,
+                                    Ev::GroupRecover { group, iter: iter + 1 },
+                                );
+                            }
+                        } else {
+                            let dur =
+                                self.group_local_time(group, iter + 1, &group_nodes, &mut rngs[group]);
+                            queue.schedule(
+                                end + dur,
+                                Ev::GroupLocalDone { group, iter: iter + 1, start: end },
+                            );
+                        }
                     }
                 }
             }
@@ -431,6 +523,8 @@ impl ClusterSim {
             mean_staleness,
             failure_at,
             live_groups: alive.iter().filter(|&&a| a).count(),
+            recovered_iterations,
+            ps_respawns,
         }
     }
 
@@ -438,20 +532,23 @@ impl ClusterSim {
     fn group_local_time(
         &self,
         group: usize,
-        _iter: usize,
+        iter: usize,
         group_nodes: &[usize],
         rng: &mut TensorRng,
     ) -> f64 {
         let cfg = &self.cfg;
         let nodes = group_nodes[group];
         let b = (cfg.batch_per_group / nodes).max(1);
-        let compute = cfg.workload.node_iteration_time(&cfg.knl, b)
+        let compute = (cfg.workload.node_iteration_time(&cfg.knl, b)
             - if cfg.groups > 1 {
                 // In hybrid mode the solver runs on the PS, not the node.
                 cfg.workload.solver_secs(cfg.workload.params)
             } else {
                 0.0
-            };
+            })
+            // Scheduled straggler window: the whole group crawls at the
+            // pace of its slowest node.
+            * cfg.faults.straggler_factor(group, iter);
         let barrier = cfg.jitter.barrier_multiplier(rng, nodes);
         let delay = cfg.jitter.barrier_delay(rng, nodes);
         let mut allreduce = cfg.net.allreduce_time(nodes, cfg.workload.model_bytes)
@@ -682,6 +779,100 @@ mod tests {
             overlapped > plain * 1.02,
             "overlap should hide a heavy all-reduce: {plain} vs {overlapped}"
         );
+    }
+
+    #[test]
+    fn planned_group_crash_without_recovery_matches_jitter_failure_story() {
+        let mut cfg = SimConfig::new(toy_workload(), 16, 4, 64).ideal();
+        cfg.iterations = 20;
+        cfg.faults = crate::faults::FaultPlan::none().with_group_crash(2, 5);
+        let r = ClusterSim::new(cfg).run();
+        assert!(r.failure_at.is_some());
+        assert_eq!(r.live_groups, 3);
+        assert_eq!(r.recovered_iterations, 0);
+        assert_eq!(r.iter_times[2].len(), 5, "group 2 dies before iteration 5");
+        assert_eq!(r.iter_times[0].len(), 20, "others run to completion");
+    }
+
+    #[test]
+    fn recovery_brings_a_crashed_group_back() {
+        let mut cfg = SimConfig::new(toy_workload(), 16, 4, 64).ideal();
+        cfg.iterations = 20;
+        cfg.faults = crate::faults::FaultPlan::none()
+            .with_group_crash(2, 5)
+            .with_recovery(2, 0.5);
+        let r = ClusterSim::new(cfg).run();
+        assert_eq!(r.live_groups, 4, "the crashed group must rejoin");
+        assert_eq!(r.iter_times[2].len(), 20, "it finishes all its iterations");
+        assert_eq!(r.recovered_iterations, 15, "iterations 5..20 ran post-recovery");
+        assert!(r.failure_at.is_some());
+    }
+
+    #[test]
+    fn recovery_does_not_resurrect_a_synchronous_run() {
+        let mut cfg = SimConfig::new(toy_workload(), 8, 1, 64).ideal();
+        cfg.iterations = 20;
+        cfg.faults = crate::faults::FaultPlan::none()
+            .with_group_crash(0, 3)
+            .with_recovery(2, 0.5);
+        let r = ClusterSim::new(cfg).run();
+        assert_eq!(r.live_groups, 0, "sync has no surviving state to rejoin");
+        assert_eq!(r.recovered_iterations, 0);
+        assert_eq!(r.iter_times[0].len(), 3);
+    }
+
+    #[test]
+    fn straggler_window_slows_only_its_group_and_window() {
+        let base = {
+            let mut cfg = SimConfig::new(toy_workload(), 16, 4, 64).ideal();
+            cfg.iterations = 10;
+            ClusterSim::new(cfg).run()
+        };
+        let slow = {
+            let mut cfg = SimConfig::new(toy_workload(), 16, 4, 64).ideal();
+            cfg.iterations = 10;
+            cfg.faults = crate::faults::FaultPlan::none().with_straggler(1, 2, 6, 4.0);
+            ClusterSim::new(cfg).run()
+        };
+        assert!(slow.total_time > base.total_time);
+        // Inside the window group 1 is ~4x slower than its own baseline.
+        assert!(slow.iter_times[1][3] > 2.0 * base.iter_times[1][3]);
+        // Outside the window it matches the baseline.
+        assert!((slow.iter_times[1][8] - base.iter_times[1][8]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ps_crash_repair_stalls_but_run_completes() {
+        let base = {
+            let mut cfg = SimConfig::new(toy_workload(), 16, 4, 64).ideal();
+            cfg.iterations = 12;
+            ClusterSim::new(cfg).run()
+        };
+        let crashed = {
+            let mut cfg = SimConfig::new(toy_workload(), 16, 4, 64).ideal();
+            cfg.iterations = 12;
+            cfg.faults = crate::faults::FaultPlan::none().with_ps_crash(0, 8, 5.0);
+            ClusterSim::new(cfg).run()
+        };
+        assert_eq!(crashed.ps_respawns, 1);
+        assert_eq!(crashed.live_groups, 4, "a PS repair must not kill groups");
+        assert_eq!(
+            crashed.images, base.images,
+            "all iterations still complete after the PS repair"
+        );
+        assert!(crashed.total_time > base.total_time + 4.0, "repair time is visible");
+    }
+
+    #[test]
+    fn message_delay_shows_up_in_one_iteration() {
+        let mut cfg = SimConfig::new(toy_workload(), 16, 4, 64).ideal();
+        cfg.iterations = 10;
+        cfg.faults = crate::faults::FaultPlan::none().with_message_delay(0, 4, 2.0);
+        let r = ClusterSim::new(cfg).run();
+        let mut base_cfg = SimConfig::new(toy_workload(), 16, 4, 64).ideal();
+        base_cfg.iterations = 10;
+        let base = ClusterSim::new(base_cfg).run();
+        assert!(r.iter_times[0][4] >= base.iter_times[0][4] + 2.0);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! algorithm faithfully over crossbeam channels so the cost model's
 //! step structure corresponds to real code.
 
+use crate::error::{CommError, CommResult};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 /// Mailbox fabric connecting `n` ranks in a ring.
@@ -47,21 +48,25 @@ pub type RingEndpoint = (Sender<Vec<f32>>, Receiver<Vec<f32>>);
 
 /// Ring all-reduce (mean) for rank `rank` of `n`: reduce-scatter then
 /// all-gather. All ranks must call this concurrently with equal-length
-/// buffers; on return `data` holds the elementwise mean.
+/// buffers; on success `data` holds the elementwise mean. A vanished
+/// neighbour (dead rank, Sec. VIII-A) surfaces as
+/// [`CommError::ChannelClosed`] — in a synchronous group that is fatal
+/// for the whole group, but the *caller* decides that, not this crate.
 pub fn ring_allreduce_mean(
     rank: usize,
     n: usize,
     data: &mut [f32],
     send_next: &Sender<Vec<f32>>,
     recv_prev: &Receiver<Vec<f32>>,
-) {
+) -> CommResult<()> {
     if n <= 1 {
-        return;
+        return Ok(());
     }
     let len = data.len();
     // Chunk boundaries: chunk c covers [starts[c], starts[c+1]).
     let starts: Vec<usize> = (0..=n).map(|c| c * len / n).collect();
     let chunk = |c: usize| starts[c]..starts[c + 1];
+    let gone = || CommError::ChannelClosed { context: "ring neighbour" };
 
     // Reduce-scatter: in step s, send chunk (rank - s) and receive+add
     // chunk (rank - s - 1).
@@ -70,8 +75,8 @@ pub fn ring_allreduce_mean(
         let recv_c = (rank + n - s - 1) % n;
         send_next
             .send(data[chunk(send_c)].to_vec())
-            .expect("ring neighbour gone");
-        let incoming = recv_prev.recv().expect("ring neighbour gone");
+            .map_err(|_| gone())?;
+        let incoming = recv_prev.recv().map_err(|_| gone())?;
         for (d, v) in data[chunk(recv_c)].iter_mut().zip(incoming) {
             *d += v;
         }
@@ -88,10 +93,11 @@ pub fn ring_allreduce_mean(
         let recv_c = (rank + n - s) % n;
         send_next
             .send(data[chunk(send_c)].to_vec())
-            .expect("ring neighbour gone");
-        let incoming = recv_prev.recv().expect("ring neighbour gone");
+            .map_err(|_| gone())?;
+        let incoming = recv_prev.recv().map_err(|_| gone())?;
         data[chunk(recv_c)].copy_from_slice(&incoming);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -108,7 +114,7 @@ mod tests {
                 thread::spawn(move || {
                     let mut data: Vec<f32> =
                         (0..len).map(|i| (rank * len + i) as f32).collect();
-                    ring_allreduce_mean(rank, n, &mut data, &tx, &rx);
+                    ring_allreduce_mean(rank, n, &mut data, &tx, &rx).unwrap();
                     data
                 })
             })
@@ -166,8 +172,22 @@ mod tests {
         let endpoints = RingFabric::new(1).into_endpoints();
         let (tx, rx) = &endpoints[0];
         let mut data = vec![1.0, 2.0];
-        ring_allreduce_mean(0, 1, &mut data, tx, rx);
+        ring_allreduce_mean(0, 1, &mut data, tx, rx).unwrap();
         assert_eq!(data, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dead_neighbour_is_an_error_not_a_panic() {
+        // Rank 1 dies before participating: rank 0's reduce must fail
+        // with ChannelClosed (the sync-group fatality of Sec. VIII-A)
+        // instead of aborting the process.
+        let mut endpoints = RingFabric::new(2).into_endpoints();
+        let (tx1, rx1) = endpoints.pop().unwrap();
+        let (tx0, rx0) = endpoints.pop().unwrap();
+        drop((tx1, rx1)); // rank 1 is gone
+        let mut data = vec![1.0, 2.0];
+        let err = ring_allreduce_mean(0, 2, &mut data, &tx0, &rx0).unwrap_err();
+        assert!(matches!(err, crate::error::CommError::ChannelClosed { .. }));
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //! overlap explicit: a root node *posts* its per-layer gradient exchange
 //! and keeps computing, collecting the fresh model when it actually
 //! needs it.
+//!
+//! Both posting and collecting return [`CommResult`]: a dead PS surfaces
+//! as [`CommError::ChannelClosed`] instead of a panic, so an engine can
+//! treat a lost exchange as a recoverable event (Sec. VIII-A).
 
+use crate::error::{CommError, CommResult};
 use crate::ps::{PsBank, PsReply};
 use crossbeam::channel::Receiver;
 
@@ -18,14 +23,20 @@ pub struct PendingExchange {
 
 impl PendingExchange {
     /// Posts one gradient per block to the bank without blocking.
-    pub fn post(bank: &PsBank, grads: Vec<Vec<f32>>) -> Self {
-        assert_eq!(grads.len(), bank.len(), "block count mismatch");
+    pub fn post(bank: &PsBank, grads: Vec<Vec<f32>>) -> CommResult<Self> {
+        if grads.len() != bank.len() {
+            return Err(CommError::SizeMismatch {
+                context: "PS exchange post",
+                expected: bank.len(),
+                got: grads.len(),
+            });
+        }
         let receivers = grads
             .into_iter()
             .enumerate()
             .map(|(i, g)| bank.server(i).update_async(g))
-            .collect();
-        Self { receivers }
+            .collect::<CommResult<_>>()?;
+        Ok(Self { receivers })
     }
 
     /// True when every block's reply has already arrived.
@@ -34,10 +45,13 @@ impl PendingExchange {
     }
 
     /// Blocks until all replies arrive, returning them in block order.
-    pub fn wait(self) -> Vec<PsReply> {
+    pub fn wait(self) -> CommResult<Vec<PsReply>> {
         self.receivers
             .into_iter()
-            .map(|r| r.recv().expect("PS reply channel closed"))
+            .map(|r| {
+                r.recv()
+                    .map_err(|_| CommError::ChannelClosed { context: "PS exchange reply" })
+            })
             .collect()
     }
 }
@@ -58,8 +72,8 @@ mod tests {
     #[test]
     fn post_then_wait_returns_all_blocks() {
         let bank = PsBank::spawn(vec![(vec![1.0], sgd(1.0)), (vec![2.0, 3.0], sgd(1.0))]);
-        let pending = PendingExchange::post(&bank, vec![vec![1.0], vec![1.0, 1.0]]);
-        let replies = pending.wait();
+        let pending = PendingExchange::post(&bank, vec![vec![1.0], vec![1.0, 1.0]]).unwrap();
+        let replies = pending.wait().unwrap();
         assert_eq!(replies[0].params, vec![0.0]);
         assert_eq!(replies[1].params, vec![1.0, 2.0]);
     }
@@ -67,21 +81,21 @@ mod tests {
     #[test]
     fn overlap_with_compute() {
         let bank = PsBank::spawn(vec![(vec![0.0], sgd(1.0))]);
-        let pending = PendingExchange::post(&bank, vec![vec![-1.0]]);
+        let pending = PendingExchange::post(&bank, vec![vec![-1.0]]).unwrap();
         // Simulated compute while the exchange is in flight.
         let mut acc = 0.0f64;
         for i in 0..10_000 {
             acc += (i as f64).sqrt();
         }
         assert!(acc > 0.0);
-        let replies = pending.wait();
+        let replies = pending.wait().unwrap();
         assert_eq!(replies[0].params, vec![1.0]);
     }
 
     #[test]
     fn ready_becomes_true_after_service() {
         let bank = PsBank::spawn(vec![(vec![0.0], sgd(1.0))]);
-        let pending = PendingExchange::post(&bank, vec![vec![1.0]]);
+        let pending = PendingExchange::post(&bank, vec![vec![1.0]]).unwrap();
         // Eventually the server replies.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while !pending.ready() {
@@ -89,13 +103,35 @@ mod tests {
             std::thread::yield_now();
         }
         assert!(pending.ready());
-        pending.wait();
+        pending.wait().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "block count mismatch")]
     fn rejects_wrong_block_count() {
         let bank = PsBank::spawn(vec![(vec![0.0], sgd(1.0))]);
-        let _ = PendingExchange::post(&bank, vec![]);
+        match PendingExchange::post(&bank, vec![]) {
+            Err(err) => {
+                assert!(matches!(err, CommError::SizeMismatch { expected: 1, got: 0, .. }))
+            }
+            Ok(_) => panic!("mismatched block count must be rejected"),
+        }
+    }
+
+    #[test]
+    fn wait_reports_dead_server_instead_of_panicking() {
+        let bank = PsBank::spawn(vec![(vec![0.0], sgd(1.0))]);
+        bank.server(0).crash();
+        // The crash races the post; whichever side fails, the outcome is
+        // an error value, never a process abort.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match PendingExchange::post(&bank, vec![vec![1.0]]).and_then(|p| p.wait()) {
+                Err(CommError::ChannelClosed { .. }) => break,
+                Ok(_) | Err(_) => {
+                    assert!(std::time::Instant::now() < deadline, "crash never observed");
+                    std::thread::yield_now();
+                }
+            }
+        }
     }
 }

@@ -27,6 +27,12 @@
 //! * [`compress`] — the Sec. VIII-B optimisation: 8-bit quantised
 //!   all-reduce with error feedback ("communicating high-order bits of
 //!   weight updates").
+//! * [`error`] — [`CommError`]/[`CommResult`]: every cross-thread
+//!   operation returns a result instead of panicking, so peer failures
+//!   are recoverable events (Sec. VIII-A).
+//! * [`supervisor`] — PS failover: snapshots each shard, detects dead or
+//!   hung servers and respawns them from the last snapshot with bounded
+//!   retry + exponential backoff.
 //!
 //! ## Example
 //!
@@ -51,11 +57,15 @@
 pub mod allreduce;
 pub mod compress;
 pub mod endpoint;
+pub mod error;
 pub mod ps;
+pub mod supervisor;
 pub mod world;
 
 pub use allreduce::{ring_allreduce_mean, RingFabric};
 pub use compress::CompressedAllReduce;
 pub use endpoint::PendingExchange;
+pub use error::{CommError, CommResult};
 pub use ps::{PsBank, PsReply, PsServer};
+pub use supervisor::{SupervisedPs, SupervisedPsBank, SupervisorConfig, UpdateFactory};
 pub use world::{CommWorld, Communicator};

@@ -9,7 +9,15 @@
 //! The update rule is injected as a boxed closure so the same server
 //! runs SGD-with-momentum, ADAM, or anything else the engines configure —
 //! the server does not depend on `scidl-nn`.
+//!
+//! Every client-facing operation returns [`CommResult`]: a dead or hung
+//! server surfaces as a [`CommError`] instead of a panic, which is what
+//! lets the [`crate::supervisor`] respawn crashed shards mid-run
+//! (Sec. VIII-A). [`PsServer::crash`] injects an abrupt server death for
+//! fault-injection tests; [`PsServer::spawn_at`] restarts a shard from a
+//! snapshot while keeping its version counter monotonic.
 
+use crate::error::{CommError, CommResult};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -28,6 +36,9 @@ pub struct PsReply {
 enum PsRequest {
     Update { grad: Vec<f32>, reply: Sender<PsReply> },
     Fetch { reply: Sender<PsReply> },
+    /// Fault injection: the server thread exits abruptly — no drain, no
+    /// reply, pending requests lost (models a killed PS node).
+    Crash,
     Shutdown,
 }
 
@@ -35,20 +46,36 @@ enum PsRequest {
 pub struct PsServer {
     tx: Sender<PsRequest>,
     handle: Option<JoinHandle<u64>>,
+    param_len: usize,
 }
 
 impl PsServer {
     /// Spawns a server owning `params`, applying `update` to each
     /// arriving gradient.
-    pub fn spawn(params: Vec<f32>, mut update: UpdateFn) -> Self {
+    pub fn spawn(params: Vec<f32>, update: UpdateFn) -> Self {
+        Self::spawn_at(params, 0, update)
+    }
+
+    /// Spawns a server from a snapshot taken at `initial_version` —
+    /// the respawn path of the supervisor. Versions stay monotonic
+    /// across the crash: the new incarnation continues counting from
+    /// the snapshot, so staleness accounting survives a failover.
+    pub fn spawn_at(params: Vec<f32>, initial_version: u64, mut update: UpdateFn) -> Self {
+        let param_len = params.len();
         let (tx, rx): (Sender<PsRequest>, Receiver<PsRequest>) = unbounded();
         let handle = std::thread::spawn(move || {
             let mut params = params;
-            let mut version: u64 = 0;
+            let mut version: u64 = initial_version;
             while let Ok(req) = rx.recv() {
                 match req {
                     PsRequest::Update { grad, reply } => {
-                        assert_eq!(grad.len(), params.len(), "PS gradient length mismatch");
+                        if grad.len() != params.len() {
+                            // Defensive: the client validates before
+                            // sending, so this only triggers on a raw
+                            // misuse. Drop the reply sender — the client
+                            // observes ChannelClosed — and keep serving.
+                            continue;
+                        }
                         update(&mut params, &grad);
                         version += 1;
                         // The requester may have gone away; ignore send
@@ -58,48 +85,88 @@ impl PsServer {
                     PsRequest::Fetch { reply } => {
                         let _ = reply.send(PsReply { params: params.clone(), version });
                     }
+                    PsRequest::Crash => return version,
                     PsRequest::Shutdown => break,
                 }
             }
             version
         });
-        Self { tx, handle: Some(handle) }
+        Self { tx, handle: Some(handle), param_len }
+    }
+
+    /// Length of the parameter shard this server owns.
+    pub fn param_len(&self) -> usize {
+        self.param_len
+    }
+
+    fn check_len(&self, grad: &[f32]) -> CommResult<()> {
+        if grad.len() != self.param_len {
+            return Err(CommError::SizeMismatch {
+                context: "PS update",
+                expected: self.param_len,
+                got: grad.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Sends a gradient and blocks for the fresh parameters.
-    pub fn update(&self, grad: Vec<f32>) -> PsReply {
-        let (rtx, rrx) = bounded(1);
-        self.tx
-            .send(PsRequest::Update { grad, reply: rtx })
-            .expect("PS thread gone");
-        rrx.recv().expect("PS reply channel closed")
+    pub fn update(&self, grad: Vec<f32>) -> CommResult<PsReply> {
+        let rrx = self.update_async(grad)?;
+        rrx.recv()
+            .map_err(|_| CommError::ChannelClosed { context: "PS update reply" })
     }
 
     /// Sends a gradient without blocking; the reply arrives on the
     /// returned receiver (used by the endpoint overlap path).
-    pub fn update_async(&self, grad: Vec<f32>) -> Receiver<PsReply> {
+    pub fn update_async(&self, grad: Vec<f32>) -> CommResult<Receiver<PsReply>> {
+        self.check_len(&grad)?;
         let (rtx, rrx) = bounded(1);
         self.tx
             .send(PsRequest::Update { grad, reply: rtx })
-            .expect("PS thread gone");
-        rrx
+            .map_err(|_| CommError::ChannelClosed { context: "PS update" })?;
+        Ok(rrx)
     }
 
     /// Fetches the current parameters without updating.
-    pub fn fetch(&self) -> PsReply {
+    pub fn fetch(&self) -> CommResult<PsReply> {
+        let rrx = self.fetch_async()?;
+        rrx.recv()
+            .map_err(|_| CommError::ChannelClosed { context: "PS fetch reply" })
+    }
+
+    /// Posts a fetch without blocking; the reply arrives on the returned
+    /// receiver (lets the supervisor wait with a timeout).
+    pub fn fetch_async(&self) -> CommResult<Receiver<PsReply>> {
         let (rtx, rrx) = bounded(1);
-        self.tx.send(PsRequest::Fetch { reply: rtx }).expect("PS thread gone");
-        rrx.recv().expect("PS reply channel closed")
+        self.tx
+            .send(PsRequest::Fetch { reply: rtx })
+            .map_err(|_| CommError::ChannelClosed { context: "PS fetch" })?;
+        Ok(rrx)
+    }
+
+    /// Fault injection: makes the server thread die abruptly, losing any
+    /// queued requests — the PS-node kill of Sec. VIII-A. Safe to call on
+    /// an already-dead server.
+    pub fn crash(&self) {
+        let _ = self.tx.send(PsRequest::Crash);
     }
 
     /// Stops the server, returning the total number of updates applied.
-    pub fn shutdown(mut self) -> u64 {
+    pub fn shutdown(mut self) -> CommResult<u64> {
         let _ = self.tx.send(PsRequest::Shutdown);
         self.handle
             .take()
-            .expect("already shut down")
+            .ok_or(CommError::ChannelClosed { context: "PS shutdown" })?
             .join()
-            .expect("PS thread panicked")
+            .map_err(|_| CommError::ServerPanicked { context: "PS shutdown" })
+    }
+
+    /// Drops the handle without joining — used by the supervisor when it
+    /// replaces a hung server whose thread can never be joined.
+    pub fn abandon(mut self) {
+        self.handle.take(); // detach
+        // Dropping `tx` afterwards closes the request channel.
     }
 }
 
@@ -145,8 +212,14 @@ impl PsBank {
     }
 
     /// Synchronous update of every block; returns per-block replies.
-    pub fn update_all(&self, grads: Vec<Vec<f32>>) -> Vec<PsReply> {
-        assert_eq!(grads.len(), self.servers.len(), "block count mismatch");
+    pub fn update_all(&self, grads: Vec<Vec<f32>>) -> CommResult<Vec<PsReply>> {
+        if grads.len() != self.servers.len() {
+            return Err(CommError::SizeMismatch {
+                context: "PS bank update",
+                expected: self.servers.len(),
+                got: grads.len(),
+            });
+        }
         // Post everything first (the per-layer parallelism of Fig. 4),
         // then collect.
         let pending: Vec<_> = self
@@ -154,20 +227,23 @@ impl PsBank {
             .iter()
             .zip(grads)
             .map(|(s, g)| s.update_async(g))
-            .collect();
+            .collect::<CommResult<_>>()?;
         pending
             .into_iter()
-            .map(|rx| rx.recv().expect("PS reply channel closed"))
+            .map(|rx| {
+                rx.recv()
+                    .map_err(|_| CommError::ChannelClosed { context: "PS bank update reply" })
+            })
             .collect()
     }
 
     /// Fetches every block's current parameters.
-    pub fn fetch_all(&self) -> Vec<PsReply> {
+    pub fn fetch_all(&self) -> CommResult<Vec<PsReply>> {
         self.servers.iter().map(|s| s.fetch()).collect()
     }
 
     /// Shuts every server down, returning per-server update counts.
-    pub fn shutdown(self) -> Vec<u64> {
+    pub fn shutdown(self) -> CommResult<Vec<u64>> {
         self.servers.into_iter().map(|s| s.shutdown()).collect()
     }
 }
@@ -188,21 +264,21 @@ mod tests {
     #[test]
     fn update_applies_rule_and_bumps_version() {
         let ps = PsServer::spawn(vec![1.0, 2.0], sgd(0.5));
-        let r = ps.update(vec![2.0, 2.0]);
+        let r = ps.update(vec![2.0, 2.0]).unwrap();
         assert_eq!(r.params, vec![0.0, 1.0]);
         assert_eq!(r.version, 1);
-        let r2 = ps.update(vec![0.0, 2.0]);
+        let r2 = ps.update(vec![0.0, 2.0]).unwrap();
         assert_eq!(r2.params, vec![0.0, 0.0]);
         assert_eq!(r2.version, 2);
-        assert_eq!(ps.shutdown(), 2);
+        assert_eq!(ps.shutdown().unwrap(), 2);
     }
 
     #[test]
     fn fetch_does_not_bump_version() {
         let ps = PsServer::spawn(vec![5.0], sgd(1.0));
-        assert_eq!(ps.fetch().version, 0);
-        ps.update(vec![1.0]);
-        let f = ps.fetch();
+        assert_eq!(ps.fetch().unwrap().version, 0);
+        ps.update(vec![1.0]).unwrap();
+        let f = ps.fetch().unwrap();
         assert_eq!(f.version, 1);
         assert_eq!(f.params, vec![4.0]);
     }
@@ -216,7 +292,7 @@ mod tests {
                 let ps = std::sync::Arc::clone(&ps);
                 thread::spawn(move || {
                     for _ in 0..50 {
-                        ps.update(vec![-1.0]); // param += 1 each update
+                        ps.update(vec![-1.0]).unwrap(); // param += 1 each update
                     }
                 })
             })
@@ -224,7 +300,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let f = ps.fetch();
+        let f = ps.fetch().unwrap();
         assert_eq!(f.version, 400);
         assert_eq!(f.params, vec![400.0]);
     }
@@ -232,12 +308,12 @@ mod tests {
     #[test]
     fn versions_measure_staleness() {
         let ps = PsServer::spawn(vec![0.0], sgd(1.0));
-        let v0 = ps.fetch().version;
+        let v0 = ps.fetch().unwrap().version;
         // Another "group" applies 3 updates behind our back.
         for _ in 0..3 {
-            ps.update(vec![0.0]);
+            ps.update(vec![0.0]).unwrap();
         }
-        let r = ps.update(vec![0.0]);
+        let r = ps.update(vec![0.0]).unwrap();
         // Our update was computed against v0 but applied at r.version;
         // staleness = (version before our apply) − v0.
         let staleness = r.version - 1 - v0;
@@ -251,28 +327,60 @@ mod tests {
             (vec![10.0, 20.0], sgd(0.1)),
         ]);
         assert_eq!(bank.len(), 2);
-        let replies = bank.update_all(vec![vec![1.0], vec![10.0, 10.0]]);
+        let replies = bank.update_all(vec![vec![1.0], vec![10.0, 10.0]]).unwrap();
         assert_eq!(replies[0].params, vec![0.0]);
         assert_eq!(replies[1].params, vec![9.0, 19.0]);
-        let counts = bank.shutdown();
+        let counts = bank.shutdown().unwrap();
         assert_eq!(counts, vec![1, 1]);
     }
 
     #[test]
     fn async_update_overlaps() {
         let ps = PsServer::spawn(vec![0.0], sgd(1.0));
-        let rx = ps.update_async(vec![-5.0]);
+        let rx = ps.update_async(vec![-5.0]).unwrap();
         // Do "compute" here, then collect.
         let r = rx.recv().unwrap();
         assert_eq!(r.params, vec![5.0]);
     }
 
     #[test]
-    #[should_panic(expected = "PS reply channel closed")]
     fn rejects_wrong_gradient_length() {
         let ps = PsServer::spawn(vec![0.0, 0.0], sgd(1.0));
-        // The length assert panics on the server thread, which closes the
-        // reply channel; the client observes that as a closed channel.
-        ps.update(vec![1.0]);
+        let err = ps.update(vec![1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            CommError::SizeMismatch { context: "PS update", expected: 2, got: 1 }
+        );
+        // The server is still alive and serving.
+        assert_eq!(ps.update(vec![1.0, 1.0]).unwrap().version, 1);
+    }
+
+    #[test]
+    fn crash_kills_the_server_without_panicking_clients() {
+        let ps = PsServer::spawn(vec![0.0], sgd(1.0));
+        ps.update(vec![-1.0]).unwrap();
+        ps.crash();
+        // Wait for the thread to actually exit, then every operation
+        // reports a closed channel instead of aborting the process.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match ps.update(vec![-1.0]) {
+                Err(CommError::ChannelClosed { .. }) => break,
+                Ok(_) | Err(_) => {
+                    assert!(std::time::Instant::now() < deadline, "crash never took effect");
+                    std::thread::yield_now();
+                }
+            }
+        }
+        assert!(matches!(ps.fetch(), Err(CommError::ChannelClosed { .. })));
+    }
+
+    #[test]
+    fn spawn_at_preserves_version_monotonicity() {
+        let ps = PsServer::spawn_at(vec![7.0], 41, sgd(1.0));
+        assert_eq!(ps.fetch().unwrap().version, 41);
+        let r = ps.update(vec![1.0]).unwrap();
+        assert_eq!(r.version, 42);
+        assert_eq!(r.params, vec![6.0]);
     }
 }

@@ -1,0 +1,461 @@
+//! Parameter-server supervision: snapshots, crash detection and failover.
+//!
+//! Sec. VIII-A observes that in the hybrid configuration a failed node
+//! only removes its compute group — *unless* the failed node hosts a
+//! parameter server, in which case the whole run stalls. This module
+//! closes that gap: a [`SupervisedPs`] wraps a [`PsServer`], keeps a
+//! snapshot of the last known shard state, and when the server stops
+//! answering (closed channel, or a reply timeout on a hung thread) it
+//! respawns the shard from the snapshot and retries the operation with
+//! exponential backoff.
+//!
+//! Recovery semantics:
+//! - **Parameters** are restored from the last snapshot. Snapshots ride
+//!   on successful replies (every reply already carries the full shard),
+//!   so with `snapshot_every = 1` the snapshot is at most one update old
+//!   per client and snapshotting adds zero extra traffic.
+//! - **Versions** stay monotonic: the respawned server continues from the
+//!   snapshot's version, so staleness accounting survives a failover.
+//! - **Updates that were in flight when the server died are lost** —
+//!   exactly the bounded loss the paper's async design tolerates (a lost
+//!   update is indistinguishable from a slightly staler gradient).
+//! - **Solver state** internal to the update rule (momentum/ADAM moments)
+//!   restarts fresh on the respawned shard; the update-rule factory
+//!   recreates it. This matches restarting a PS process from a checkpoint.
+
+use crate::error::{CommError, CommResult};
+use crate::ps::{PsReply, PsServer, UpdateFn};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Recreates the update rule for a respawned server. The plain
+/// [`UpdateFn`] is consumed by the server thread, so the supervisor
+/// needs a factory to build a fresh one after a crash.
+pub type UpdateFactory = Box<dyn Fn() -> UpdateFn + Send + Sync>;
+
+/// Tuning knobs for a [`SupervisedPs`].
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Refresh the snapshot every N successful operations (1 = always).
+    pub snapshot_every: u64,
+    /// How long to wait for a reply before declaring the server hung.
+    pub reply_timeout: Duration,
+    /// Total attempts per operation (first try + retries, each retry
+    /// preceded by a respawn when the server is dead).
+    pub max_retries: u32,
+    /// Backoff before retry k is `backoff_base * 2^(k-1)`.
+    pub backoff_base: Duration,
+    /// Fault injection: crash the server after this many successful
+    /// operations (once). `None` disables injection.
+    pub inject_crash_after: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            snapshot_every: 1,
+            reply_timeout: Duration::from_secs(5),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(1),
+            inject_crash_after: None,
+        }
+    }
+}
+
+struct Inner {
+    server: PsServer,
+    /// Last shard state seen in a reply (the failover image).
+    snapshot: Vec<f32>,
+    snapshot_version: u64,
+    /// Successful operations since spawn (drives snapshot cadence and
+    /// crash injection).
+    successes: u64,
+    /// Bumped on every respawn; lets a client that observed a failure
+    /// tell whether someone else already replaced the server.
+    generation: u64,
+    respawns: u64,
+    injected: bool,
+}
+
+/// A [`PsServer`] with crash detection and automatic failover.
+pub struct SupervisedPs {
+    cfg: SupervisorConfig,
+    make_update: UpdateFactory,
+    inner: Mutex<Inner>,
+}
+
+impl SupervisedPs {
+    /// Spawns a supervised server owning `params`.
+    pub fn spawn(params: Vec<f32>, make_update: UpdateFactory, cfg: SupervisorConfig) -> Self {
+        let server = PsServer::spawn(params.clone(), make_update());
+        Self {
+            cfg,
+            make_update,
+            inner: Mutex::new(Inner {
+                server,
+                snapshot: params,
+                snapshot_version: 0,
+                successes: 0,
+                generation: 0,
+                respawns: 0,
+                injected: false,
+            }),
+        }
+    }
+
+    /// Number of failovers performed so far.
+    pub fn respawns(&self) -> u64 {
+        self.inner.lock().respawns
+    }
+
+    /// Fault injection: kill the underlying server now. The next
+    /// operation will detect the death and fail over.
+    pub fn crash(&self) {
+        self.inner.lock().server.crash();
+    }
+
+    /// Records a successful reply: refresh the snapshot (respecting the
+    /// cadence) and fire scheduled crash injection.
+    fn on_success(inner: &mut Inner, cfg: &SupervisorConfig, generation: u64, reply: &PsReply) {
+        inner.successes += 1;
+        // A reply from an older incarnation must not roll the snapshot
+        // back past the respawn point.
+        if generation == inner.generation
+            && reply.version >= inner.snapshot_version
+            && inner.successes.is_multiple_of(cfg.snapshot_every)
+        {
+            inner.snapshot = reply.params.clone();
+            inner.snapshot_version = reply.version;
+        }
+        if let Some(n) = cfg.inject_crash_after {
+            if !inner.injected && inner.successes >= n {
+                inner.injected = true;
+                inner.server.crash();
+            }
+        }
+    }
+
+    /// Replaces a dead/hung server with one spawned from the snapshot.
+    /// `observed_generation` guards against double-respawn when several
+    /// clients detect the same failure.
+    fn respawn(&self, observed_generation: u64) {
+        let mut inner = self.inner.lock();
+        if inner.generation != observed_generation {
+            return; // someone else already failed over
+        }
+        let fresh = PsServer::spawn_at(
+            inner.snapshot.clone(),
+            inner.snapshot_version,
+            (self.make_update)(),
+        );
+        // Never join the old thread — it may be hung forever.
+        std::mem::replace(&mut inner.server, fresh).abandon();
+        inner.generation += 1;
+        inner.respawns += 1;
+    }
+
+    /// One attempt: post under the lock (capturing the generation), wait
+    /// outside it so concurrent clients and the supervisor stay live.
+    fn attempt(&self, grad: Option<&[f32]>) -> Result<PsReply, (CommError, u64)> {
+        let (rx, generation) = {
+            let inner = self.inner.lock();
+            let gen = inner.generation;
+            let rx = match grad {
+                Some(g) => inner.server.update_async(g.to_vec()),
+                None => inner.server.fetch_async(),
+            };
+            (rx.map_err(|e| (e, gen))?, gen)
+        };
+        match rx.recv_timeout(self.cfg.reply_timeout) {
+            Ok(reply) => Ok(reply),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err((
+                CommError::Timeout {
+                    context: "supervised PS reply",
+                    waited: self.cfg.reply_timeout,
+                },
+                generation,
+            )),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err((
+                CommError::ChannelClosed { context: "supervised PS reply" },
+                generation,
+            )),
+        }
+    }
+
+    fn run(&self, context: &'static str, grad: Option<&[f32]>) -> CommResult<PsReply> {
+        // Validate once up front so a size mismatch is a client error,
+        // not a reason to respawn a healthy server.
+        if let Some(g) = grad {
+            let expected = self.inner.lock().server.param_len();
+            if g.len() != expected {
+                return Err(CommError::SizeMismatch { context, expected, got: g.len() });
+            }
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.attempt(grad) {
+                Ok(reply) => {
+                    let mut inner = self.inner.lock();
+                    // Generation at reply time may have advanced; the
+                    // snapshot guard in on_success handles that.
+                    let gen = inner.generation;
+                    Self::on_success(&mut inner, &self.cfg, gen, &reply);
+                    return Ok(reply);
+                }
+                Err((_err, generation)) if attempts < self.cfg.max_retries => {
+                    self.respawn(generation);
+                    let backoff = self.cfg.backoff_base * 2u32.saturating_pow(attempts - 1);
+                    std::thread::sleep(backoff);
+                }
+                Err(..) => {
+                    return Err(CommError::RetriesExhausted { context, attempts });
+                }
+            }
+        }
+    }
+
+    /// Sends a gradient and blocks for the fresh parameters, failing
+    /// over and retrying if the server is dead or hung.
+    pub fn update(&self, grad: &[f32]) -> CommResult<PsReply> {
+        self.run("supervised PS update", Some(grad))
+    }
+
+    /// Fetches the current parameters with the same failover guarantees.
+    pub fn fetch(&self) -> CommResult<PsReply> {
+        self.run("supervised PS fetch", None)
+    }
+
+    /// Stops the server, returning its final update count.
+    pub fn shutdown(self) -> CommResult<u64> {
+        let inner = self.inner.into_inner();
+        inner.server.shutdown()
+    }
+}
+
+/// A bank of supervised servers — drop-in for [`crate::ps::PsBank`]
+/// when failover is wanted.
+pub struct SupervisedPsBank {
+    servers: Vec<SupervisedPs>,
+}
+
+impl SupervisedPsBank {
+    /// Spawns one supervised server per `(params, update factory)` pair.
+    pub fn spawn(blocks: Vec<(Vec<f32>, UpdateFactory)>, cfg: SupervisorConfig) -> Self {
+        Self {
+            servers: blocks
+                .into_iter()
+                .map(|(p, f)| SupervisedPs::spawn(p, f, cfg.clone()))
+                .collect(),
+        }
+    }
+
+    /// Spawns a bank where each shard gets its own supervisor config —
+    /// how a fault plan schedules a crash on one specific shard.
+    pub fn spawn_with(blocks: Vec<(Vec<f32>, UpdateFactory, SupervisorConfig)>) -> Self {
+        Self {
+            servers: blocks
+                .into_iter()
+                .map(|(p, f, cfg)| SupervisedPs::spawn(p, f, cfg))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the bank holds no shards.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Access to one supervised shard.
+    pub fn server(&self, idx: usize) -> &SupervisedPs {
+        &self.servers[idx]
+    }
+
+    /// Updates every shard, failing over dead ones as needed.
+    pub fn update_all(&self, grads: &[Vec<f32>]) -> CommResult<Vec<PsReply>> {
+        if grads.len() != self.servers.len() {
+            return Err(CommError::SizeMismatch {
+                context: "supervised PS bank update",
+                expected: self.servers.len(),
+                got: grads.len(),
+            });
+        }
+        self.servers
+            .iter()
+            .zip(grads)
+            .map(|(s, g)| s.update(g))
+            .collect()
+    }
+
+    /// Fetches every shard.
+    pub fn fetch_all(&self) -> CommResult<Vec<PsReply>> {
+        self.servers.iter().map(|s| s.fetch()).collect()
+    }
+
+    /// Total failovers across all shards.
+    pub fn total_respawns(&self) -> u64 {
+        self.servers.iter().map(|s| s.respawns()).sum()
+    }
+
+    /// Stops every shard, returning per-shard update counts.
+    pub fn shutdown(self) -> CommResult<Vec<u64>> {
+        self.servers.into_iter().map(|s| s.shutdown()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sgd_factory(lr: f32) -> UpdateFactory {
+        Box::new(move || {
+            Box::new(move |p: &mut [f32], g: &[f32]| {
+                for (pi, gi) in p.iter_mut().zip(g) {
+                    *pi -= lr * gi;
+                }
+            })
+        })
+    }
+
+    #[test]
+    fn survives_injected_crash() {
+        let cfg = SupervisorConfig { inject_crash_after: Some(5), ..Default::default() };
+        let ps = SupervisedPs::spawn(vec![0.0], sgd_factory(1.0), cfg);
+        for _ in 0..20 {
+            ps.update(&[-1.0]).unwrap();
+        }
+        assert!(ps.respawns() >= 1, "crash injection never fired a failover");
+        let f = ps.fetch().unwrap();
+        // At most one in-flight update may be lost per crash; with
+        // snapshot_every=1 and a single client nothing is lost here.
+        assert!(f.params[0] >= 19.0, "lost more than one update: {}", f.params[0]);
+    }
+
+    #[test]
+    fn explicit_crash_recovers_from_snapshot() {
+        let ps = SupervisedPs::spawn(vec![10.0], sgd_factory(1.0), SupervisorConfig::default());
+        ps.update(&[1.0]).unwrap(); // 9.0, snapshot taken
+        ps.crash();
+        // Next op detects the death and fails over from the snapshot.
+        let r = ps.update(&[1.0]).unwrap();
+        assert_eq!(r.params, vec![8.0]);
+        assert_eq!(r.version, 2, "versions must stay monotonic across failover");
+        assert_eq!(ps.respawns(), 1);
+    }
+
+    #[test]
+    fn repeated_crashes_still_make_progress() {
+        let ps = Arc::new(SupervisedPs::spawn(
+            vec![0.0],
+            sgd_factory(1.0),
+            SupervisorConfig::default(),
+        ));
+        for i in 0..30 {
+            if i % 7 == 3 {
+                ps.crash();
+            }
+            ps.update(&[-1.0]).unwrap();
+        }
+        let f = ps.fetch().unwrap();
+        assert!(ps.respawns() >= 3);
+        // Every update either applied or was lost to a crash it raced;
+        // with one client the retry re-applies it, so none are lost.
+        assert_eq!(f.params, vec![30.0]);
+        assert_eq!(f.version, 30);
+    }
+
+    #[test]
+    fn concurrent_clients_survive_crashes_without_double_respawn_storms() {
+        let ps = Arc::new(SupervisedPs::spawn(
+            vec![0.0],
+            sgd_factory(1.0),
+            SupervisorConfig::default(),
+        ));
+        let clients: Vec<_> = (0..4)
+            .map(|c| {
+                let ps = Arc::clone(&ps);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        if c == 0 && i == 10 {
+                            ps.crash();
+                        }
+                        ps.update(&[-1.0]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let f = ps.fetch().unwrap();
+        // 100 updates were issued; each crash can drop the handful that
+        // were in flight. The run must complete and keep the vast
+        // majority — conservation is checked exactly in the proptests.
+        assert!(f.params[0] >= 90.0, "too many updates lost: {}", f.params[0]);
+        assert!(f.params[0] <= 100.0);
+        assert!(ps.respawns() >= 1);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_error() {
+        // A factory whose servers die instantly: every respawn crashes
+        // again before it can answer, so retries run out.
+        let cfg = SupervisorConfig {
+            max_retries: 2,
+            backoff_base: Duration::from_micros(100),
+            ..Default::default()
+        };
+        let ps = SupervisedPs::spawn(vec![0.0], sgd_factory(1.0), cfg);
+        // Kill servers as fast as they appear.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Simpler: crash, then make the *first* attempt fail and the
+        // retry too by crashing again from another thread in a loop.
+        let ps = Arc::new(ps);
+        let killer = {
+            let ps = Arc::clone(&ps);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    ps.crash();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut saw_exhaustion = false;
+        for _ in 0..200 {
+            if let Err(CommError::RetriesExhausted { attempts, .. }) = ps.update(&[1.0]) {
+                assert_eq!(attempts, 2);
+                saw_exhaustion = true;
+                break;
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        killer.join().unwrap();
+        assert!(saw_exhaustion, "continuous crashing never exhausted retries");
+    }
+
+    #[test]
+    fn bank_failover_and_counts() {
+        let bank = SupervisedPsBank::spawn(
+            vec![
+                (vec![0.0], sgd_factory(1.0)),
+                (vec![100.0], sgd_factory(1.0)),
+            ],
+            SupervisorConfig::default(),
+        );
+        bank.update_all(&[vec![-1.0], vec![1.0]]).unwrap();
+        bank.server(1).crash();
+        let replies = bank.update_all(&[vec![-1.0], vec![1.0]]).unwrap();
+        assert_eq!(replies[0].params, vec![2.0]);
+        assert_eq!(replies[1].params, vec![98.0]);
+        assert_eq!(bank.total_respawns(), 1);
+        let counts = bank.shutdown().unwrap();
+        assert_eq!(counts[0], 2);
+    }
+}

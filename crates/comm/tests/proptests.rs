@@ -75,7 +75,7 @@ proptest! {
             .zip(contribs)
             .map(|((rank, (tx, rx)), mut data)| {
                 thread::spawn(move || {
-                    ring_allreduce_mean(rank, n, &mut data, &tx, &rx);
+                    ring_allreduce_mean(rank, n, &mut data, &tx, &rx).unwrap();
                     data
                 })
             })
@@ -103,7 +103,7 @@ proptest! {
                 let bank = std::sync::Arc::clone(&bank);
                 thread::spawn(move || {
                     for _ in 0..per {
-                        bank.server(0).update(vec![-1.0]);
+                        bank.server(0).update(vec![-1.0]).unwrap();
                     }
                 })
             })
@@ -111,9 +111,40 @@ proptest! {
         for h in handles {
             h.join().unwrap();
         }
-        let f = bank.server(0).fetch();
+        let f = bank.server(0).fetch().unwrap();
         prop_assert_eq!(f.version, (threads * per) as u64);
         prop_assert_eq!(f.params[0], (threads * per) as f32);
+    }
+
+    /// A supervised PS conserves the update count across an injected
+    /// crash at an arbitrary point: with a single client retrying
+    /// through the supervisor, every update lands exactly once, so the
+    /// recovered parameter equals the number of updates sent.
+    #[test]
+    fn supervised_ps_conserves_updates_across_crashes(
+        total in 5u64..40,
+        crash_after in 1u64..20,
+    ) {
+        use scidl_comm::{SupervisedPs, SupervisorConfig, UpdateFactory};
+        use std::time::Duration;
+        let make: UpdateFactory =
+            Box::new(|| Box::new(|p: &mut [f32], g: &[f32]| p[0] -= g[0]) as UpdateFn);
+        let cfg = SupervisorConfig {
+            reply_timeout: Duration::from_secs(5),
+            inject_crash_after: Some(crash_after),
+            ..SupervisorConfig::default()
+        };
+        let ps = SupervisedPs::spawn(vec![0.0f32], make, cfg);
+        let mut last = 0.0f32;
+        for _ in 0..total {
+            last = ps.update(&[-1.0]).unwrap().params[0];
+        }
+        prop_assert_eq!(last, total as f32);
+        let f = ps.fetch().unwrap();
+        prop_assert_eq!(f.params[0], total as f32);
+        if crash_after < total {
+            prop_assert!(ps.respawns() >= 1);
+        }
     }
 
     /// Broadcast delivers the root's data to every rank for any root.

@@ -42,7 +42,11 @@ impl Checkpoint {
         model.set_flat_params(&self.params);
     }
 
-    /// Writes the checkpoint to `path`.
+    /// Writes the checkpoint to `path` *crash-safely*: the bytes go to a
+    /// sibling temporary file which is fsynced and then atomically
+    /// renamed over `path`. A crash mid-write leaves either the previous
+    /// checkpoint intact or a stray `.tmp` that [`Checkpoint::load`]
+    /// never sees — never a torn file at `path`.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let mut buf = Vec::with_capacity(4 + 4 + 8 + 8 + 8 + self.params.len() * 4 + 8);
         buf.extend_from_slice(MAGIC);
@@ -55,8 +59,21 @@ impl Checkpoint {
         }
         let sum = fnv1a(&buf);
         buf.extend_from_slice(&sum.to_le_bytes());
-        let mut f = File::create(path)?;
-        f.write_all(&buf)
+
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+        drop(f);
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                Err(e)
+            }
+        }
     }
 
     /// Reads a checkpoint from `path`, verifying magic, version and
@@ -164,6 +181,56 @@ mod tests {
         let err = Checkpoint::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn mid_data_truncation_fails_the_checksum() {
+        // A file long enough to parse but cut mid-parameters must be
+        // rejected by the checksum, not read as a shorter model.
+        let mut rng = TensorRng::new(21);
+        let model = scidl_nn::arch::hep_small(&mut rng);
+        let ck = Checkpoint::capture(&model, 7, 8);
+        let path = tmp("midtrunc");
+        ck.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 100]).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_leaves_no_tmp() {
+        let mut rng = TensorRng::new(22);
+        let model = scidl_nn::arch::hep_small(&mut rng);
+        let path = tmp("atomic");
+        Checkpoint::capture(&model, 1, 0).save(&path).unwrap();
+        // Overwrite with a later snapshot; the file must parse cleanly
+        // and hold the *new* cursor, with no .tmp sibling left behind.
+        Checkpoint::capture(&model, 2, 0).save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.iteration, 2);
+        let mut tmp_path = path.as_os_str().to_owned();
+        tmp_path.push(".tmp");
+        assert!(!std::path::Path::new(&tmp_path).exists(), "tmp file left behind");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tmp_write_does_not_clobber_the_previous_checkpoint() {
+        // Simulate a crash between tmp-write and rename: the stray .tmp
+        // must not affect loading the last good checkpoint.
+        let mut rng = TensorRng::new(23);
+        let model = scidl_nn::arch::hep_small(&mut rng);
+        let path = tmp("torn");
+        Checkpoint::capture(&model, 5, 0).save(&path).unwrap();
+        let mut tmp_path = path.as_os_str().to_owned();
+        tmp_path.push(".tmp");
+        std::fs::write(&tmp_path, b"garbage from a crashed writer").unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.iteration, 5);
+        std::fs::remove_file(&tmp_path).ok();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

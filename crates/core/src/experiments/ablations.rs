@@ -160,16 +160,24 @@ pub struct ResilienceResult {
     pub sync_failed: bool,
     /// Iterations the synchronous run completed before dying.
     pub sync_iterations_done: usize,
-    /// Groups the hybrid run finished with.
+    /// Groups the hybrid run (no recovery) finished with.
     pub hybrid_live_groups: usize,
-    /// Total iterations hybrid groups completed despite the failure.
+    /// Total iterations hybrid groups completed despite the failure
+    /// (no recovery — the paper's baseline observation).
     pub hybrid_iterations_done: usize,
+    /// Total iterations with the recovery policy enabled: crashed groups
+    /// rejoin from the PS bank after the MTTR.
+    pub recovery_iterations_done: usize,
+    /// Of those, iterations contributed *after* a recovery.
+    pub recovered_iterations: usize,
+    /// Groups alive at the end of the recovery-enabled run.
+    pub recovery_live_groups: usize,
 }
 
-/// Injects an aggressive failure rate and compares a synchronous run
-/// against a hybrid run (Sec. VIII-A: "even a single node failure can
-/// cause complete failure of synchronous runs; hybrid runs are much more
-/// resilient").
+/// Injects an aggressive failure rate and compares three runs
+/// (Sec. VIII-A): a synchronous run (one failure kills everything), a
+/// hybrid run (only the affected group is lost), and a hybrid run with
+/// the recovery policy (the lost group rejoins from the PS bank).
 pub fn resilience(workload: &Workload, nodes: usize, groups: usize, seed: u64) -> ResilienceResult {
     let deadly = JitterModel {
         fail_rate_per_node_hour: 100.0,
@@ -187,13 +195,23 @@ pub fn resilience(workload: &Workload, nodes: usize, groups: usize, seed: u64) -
     hyb_cfg.jitter = deadly;
     hyb_cfg.iterations = iterations;
     hyb_cfg.seed = seed;
-    let hyb = ClusterSim::new(hyb_cfg).run();
+    let hyb = ClusterSim::new(hyb_cfg.clone()).run();
+
+    // Same scenario, same seed, plus a recovery policy: repair takes
+    // roughly ten mean iterations of wall-clock.
+    let mut rec_cfg = hyb_cfg;
+    let est_iter = rec_cfg.workload.node_iteration_time(&rec_cfg.knl, 8);
+    rec_cfg.faults = scidl_cluster::FaultPlan::none().with_recovery(10, 10.0 * est_iter);
+    let rec = ClusterSim::new(rec_cfg).run();
 
     ResilienceResult {
         sync_failed: sync.failure_at.is_some() && sync.live_groups == 0,
         sync_iterations_done: sync.iter_times[0].len(),
         hybrid_live_groups: hyb.live_groups,
         hybrid_iterations_done: hyb.iter_times.iter().map(|v| v.len()).sum(),
+        recovery_iterations_done: rec.iter_times.iter().map(|v| v.len()).sum(),
+        recovered_iterations: rec.recovered_iterations,
+        recovery_live_groups: rec.live_groups,
     }
 }
 
@@ -351,6 +369,19 @@ mod tests {
         assert!(r.sync_failed, "sync run should die under heavy failure rate");
         assert_eq!(r.hybrid_live_groups, 3, "hybrid should lose exactly one group");
         assert!(r.hybrid_iterations_done > r.sync_iterations_done);
+        // Recovery recoups the crashed group's remaining iterations.
+        assert!(
+            r.recovery_iterations_done > r.hybrid_iterations_done,
+            "recovery {} should beat no-recovery {}",
+            r.recovery_iterations_done,
+            r.hybrid_iterations_done
+        );
+        assert!(r.recovered_iterations > 0);
+        assert_eq!(
+            r.recovery_iterations_done - r.hybrid_iterations_done,
+            r.recovered_iterations,
+            "the gain is exactly the recovered iterations"
+        );
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Fault-injection plans for the training engines.
+//!
+//! The plan type itself lives in `scidl-cluster` (the simulator consumes
+//! it too); this module re-exports it alongside convenience constructors
+//! for the thread-engine scenarios the tests and examples use. See
+//! [`crate::thread_engine::ThreadEngineConfig::faults`] and
+//! `scidl_cluster::SimConfig::faults` for the injection points.
+
+pub use scidl_cluster::faults::{
+    FaultPlan, GroupCrash, MessageDelay, PsCrash, Recovery, Straggler,
+};
+
+/// A plan that kills `group` at `iteration` and never repairs it — the
+/// seed engine's `fail_group_at` behaviour (Sec. VIII-A baseline).
+pub fn kill_group(group: usize, iteration: usize) -> FaultPlan {
+    FaultPlan::none().with_group_crash(group, iteration)
+}
+
+/// A plan that kills `group` at `iteration` and brings it back after
+/// `mttr_iters` iterations' worth of wall-clock time (thread engine) or
+/// `mttr_secs` simulated seconds (cluster sim).
+pub fn kill_and_recover_group(
+    group: usize,
+    iteration: usize,
+    mttr_iters: u64,
+    mttr_secs: f64,
+) -> FaultPlan {
+    FaultPlan::none()
+        .with_group_crash(group, iteration)
+        .with_recovery(mttr_iters, mttr_secs)
+}
+
+/// A plan that crashes PS shard `shard` after it has served
+/// `after_requests` requests; the supervisor (thread engine) or the
+/// repair model (sim, `repair_secs`) brings it back.
+pub fn kill_ps_shard(shard: usize, after_requests: u64, repair_secs: f64) -> FaultPlan {
+    FaultPlan::none().with_ps_crash(shard, after_requests, repair_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_the_expected_plans() {
+        let p = kill_group(1, 3);
+        assert_eq!(p.group_crash_at(1), Some(3));
+        assert!(p.recovery.is_none());
+
+        let p = kill_and_recover_group(0, 2, 4, 9.0);
+        assert_eq!(p.group_crash_at(0), Some(2));
+        assert_eq!(p.recovery.unwrap().mttr_iters, 4);
+
+        let p = kill_ps_shard(2, 50, 1.5);
+        assert_eq!(p.ps_crash_for_shard(2).unwrap().after_requests, 50);
+        assert!(p.group_crash_at(0).is_none());
+    }
+}

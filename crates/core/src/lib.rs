@@ -50,6 +50,7 @@
 
 pub mod checkpoint;
 pub mod experiments;
+pub mod faults;
 pub mod metrics;
 pub mod model_parallel;
 pub mod sim_engine;
@@ -58,6 +59,7 @@ pub mod thread_engine;
 pub mod tuner;
 pub mod workloads;
 
+pub use faults::FaultPlan;
 pub use metrics::LossCurve;
 pub use sim_engine::{SimEngine, SimEngineConfig, SimRunSummary};
 pub use thread_engine::{ThreadEngine, ThreadEngineConfig, ThreadRunSummary};

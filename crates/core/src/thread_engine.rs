@@ -10,23 +10,46 @@
 //!
 //! The engine is generic over the model and task
 //! ([`ThreadEngine::run_with`]); [`ThreadEngine::run`] is the HEP
-//! classification instantiation. Failure injection
-//! ([`ThreadEngineConfig::fail_group_at`]) kills one compute group
-//! mid-run, demonstrating the Sec. VIII-A resilience property on real
-//! threads: the remaining groups keep training through the shared PS
-//! bank.
+//! classification instantiation.
+//!
+//! ## Fault injection and recovery (Sec. VIII-A)
+//!
+//! [`ThreadEngineConfig::faults`] takes a [`FaultPlan`] describing
+//! scheduled group crashes, PS crashes, stragglers and message delays:
+//!
+//! * A **group crash** stops all of the group's workers together. Without
+//!   a recovery policy the group stays dead and the others keep training
+//!   through the shared PS bank — the paper's observation. With
+//!   [`FaultPlan::with_recovery`], the group sits out its MTTR
+//!   (`mttr_iters` × its own measured iteration time), re-fetches the
+//!   *current* model from the PS bank and rejoins; its post-recovery
+//!   updates are reported in [`ThreadRunSummary::recovered_updates`].
+//! * A **PS crash** kills a parameter-server thread mid-run. The engine
+//!   talks to the bank through `scidl-comm`'s supervisor, which detects
+//!   the dead shard and respawns it from its last snapshot — the run
+//!   completes instead of aborting ([`ThreadRunSummary::ps_respawns`]).
+//! * **Stragglers** and **message delays** stretch compute and PS
+//!   exchanges with real sleeps, producing genuine extra staleness.
+//!
+//! Independently, [`ThreadEngineConfig::checkpoint_every`] makes the
+//! root of group 0 write crash-safe model checkpoints
+//! ([`crate::checkpoint::Checkpoint`]) while training runs.
 
+use crate::checkpoint::Checkpoint;
+use crate::faults::FaultPlan;
 use crate::metrics::LossCurve;
 use crate::task::hep_gradient;
 use parking_lot::Mutex;
 use scidl_comm::ps::UpdateFn;
-use scidl_comm::{CommWorld, PendingExchange, PsBank};
+use scidl_comm::supervisor::{SupervisedPsBank, SupervisorConfig, UpdateFactory};
+use scidl_comm::CommWorld;
 use scidl_data::{BatchSampler, HepDataset};
 use scidl_nn::network::Model;
-use scidl_nn::{Sgd, Solver};
+use scidl_nn::Solver;
 use scidl_tensor::TensorRng;
+use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cap (exclusive) on the staleness histogram; larger values land in the
 /// last bucket.
@@ -50,10 +73,15 @@ pub struct ThreadEngineConfig {
     /// Run ADAM at the parameter servers instead of momentum-SGD (the
     /// paper's HEP configuration, Sec. III-A).
     pub adam: bool,
-    /// Kill group `.0` at the start of its iteration `.1` (failure
-    /// injection, Sec. VIII-A). All of the group's workers stop together;
-    /// the other groups are unaffected.
-    pub fail_group_at: Option<(usize, usize)>,
+    /// Fault-injection scenario (Sec. VIII-A): group crashes (with or
+    /// without recovery), PS crashes, stragglers and message delays.
+    /// `FaultPlan::none()` trains fault-free.
+    pub faults: FaultPlan,
+    /// Write a crash-safe checkpoint every N group-0 iterations
+    /// (0 = off; requires `checkpoint_path`).
+    pub checkpoint_every: usize,
+    /// Where periodic checkpoints go.
+    pub checkpoint_path: Option<PathBuf>,
     /// Seed for model init and data sampling.
     pub seed: u64,
 }
@@ -69,7 +97,9 @@ impl ThreadEngineConfig {
             lr: 1e-3,
             momentum: 0.0,
             adam: false,
-            fail_group_at: None,
+            faults: FaultPlan::none(),
+            checkpoint_every: 0,
+            checkpoint_path: None,
             seed: 0x7B,
         }
     }
@@ -89,12 +119,21 @@ pub struct ThreadRunSummary {
     pub staleness_histogram: Vec<u64>,
     /// Total updates applied across all groups.
     pub updates: u64,
+    /// Updates contributed by groups *after* they recovered from a crash
+    /// — work the recovery policy saved (0 without recovery).
+    pub recovered_updates: u64,
+    /// PS-shard failovers performed by the supervisor during the run.
+    pub ps_respawns: u64,
+    /// Crash-safe checkpoints written during the run.
+    pub checkpoints_written: u64,
 }
 
 /// Shared run-wide accumulators.
 struct Shared {
     losses: Mutex<Vec<(f64, f32)>>,
     staleness: Mutex<(f64, u64, Vec<u64>)>,
+    /// `(recovered updates, checkpoints written)`.
+    fault_stats: Mutex<(u64, u64)>,
 }
 
 /// The thread-backed hybrid engine.
@@ -139,24 +178,39 @@ impl ThreadEngine {
         let template = build(cfg.seed);
         let block_sizes: Vec<usize> = template.param_blocks().iter().map(|b| b.len()).collect();
 
-        // Per-layer PS bank, each with its own solver state.
-        let bank = PsBank::spawn(
+        // Supervised per-layer PS bank: each shard has its own solver
+        // state and is respawned from a snapshot if it dies. The factory
+        // rebuilds the update rule for a respawned shard (its solver
+        // state restarts fresh, like a PS process restarting from a
+        // checkpoint).
+        let (adam, lr, momentum) = (cfg.adam, cfg.lr, cfg.momentum);
+        let bank = SupervisedPsBank::spawn_with(
             template
                 .param_blocks()
                 .iter()
-                .map(|b| {
-                    let update: UpdateFn = if cfg.adam {
-                        let mut solver = scidl_nn::Adam::new(cfg.lr);
-                        Box::new(move |p: &mut [f32], g: &[f32]| {
-                            solver.step_block(0, p, g);
-                        })
-                    } else {
-                        let mut solver = Sgd::new(cfg.lr, cfg.momentum);
-                        Box::new(move |p: &mut [f32], g: &[f32]| {
-                            solver.step_block(0, p, g);
-                        })
+                .enumerate()
+                .map(|(shard, b)| {
+                    let factory: UpdateFactory = Box::new(move || {
+                        if adam {
+                            let mut solver = scidl_nn::Adam::new(lr);
+                            Box::new(move |p: &mut [f32], g: &[f32]| {
+                                solver.step_block(0, p, g);
+                            }) as UpdateFn
+                        } else {
+                            let mut solver = scidl_nn::Sgd::new(lr, momentum);
+                            Box::new(move |p: &mut [f32], g: &[f32]| {
+                                solver.step_block(0, p, g);
+                            }) as UpdateFn
+                        }
+                    });
+                    let sup = SupervisorConfig {
+                        inject_crash_after: cfg
+                            .faults
+                            .ps_crash_for_shard(shard)
+                            .map(|c| c.after_requests),
+                        ..SupervisorConfig::default()
                     };
-                    (b.value.data().to_vec(), update)
+                    (b.value.data().to_vec(), factory, sup)
                 })
                 .collect(),
         );
@@ -164,6 +218,7 @@ impl ThreadEngine {
         let shared = Arc::new(Shared {
             losses: Mutex::new(Vec::new()),
             staleness: Mutex::new((0.0, 0, vec![0u64; STALENESS_BUCKETS])),
+            fault_stats: Mutex::new((0, 0)),
         });
         let t0 = Instant::now();
 
@@ -203,20 +258,25 @@ impl ThreadEngine {
             curve.push(t, l);
         }
 
-        let final_params: Vec<f32> = Arc::try_unwrap(bank)
-            .ok()
-            .expect("bank still shared")
+        let bank = Arc::try_unwrap(bank).ok().expect("bank still shared");
+        let ps_respawns = bank.total_respawns();
+        let final_params: Vec<f32> = bank
             .fetch_all()
+            .expect("PS bank unreachable at shutdown")
             .into_iter()
             .flat_map(|r| r.params)
             .collect();
         let (ssum, supdates, hist) = shared.staleness.lock().clone();
+        let (recovered_updates, checkpoints_written) = *shared.fault_stats.lock();
         ThreadRunSummary {
             curve,
             final_params,
             mean_staleness: if supdates > 0 { ssum / supdates as f64 } else { 0.0 },
             staleness_histogram: hist,
             updates: supdates,
+            recovered_updates,
+            ps_respawns,
+            checkpoints_written,
         }
     }
 }
@@ -228,7 +288,7 @@ fn worker<M, B, G>(
     comm: scidl_comm::Communicator,
     cfg: ThreadEngineConfig,
     dataset_len: usize,
-    bank: Arc<PsBank>,
+    bank: Arc<SupervisedPsBank>,
     shared: Arc<Shared>,
     block_sizes: Vec<usize>,
     t0: Instant,
@@ -249,19 +309,71 @@ fn worker<M, B, G>(
 
     let mut last_version: u64 = 0;
     let mut flat = model.flat_params();
+    // MTTR is expressed in iterations; convert with the group's own
+    // measured pace (fallback before the first iteration completes).
+    let mut last_iter_secs = 1e-3f64;
+    let mut recovered = false;
 
     for iter in 0..cfg.iterations {
-        if let Some((fg, fi)) = cfg.fail_group_at {
-            if fg == group && iter >= fi {
-                // The whole group observes the same condition and stops
-                // together — a node failure taking its group down
-                // (Sec. VIII-A). Other groups keep going via the PS bank.
-                return;
+        if !recovered && cfg.faults.group_crash_at(group) == Some(iter) {
+            // The whole group observes the same condition and stops
+            // together — a node failure taking its group down
+            // (Sec. VIII-A). Other groups keep going via the PS bank.
+            match cfg.faults.recovery {
+                None => return, // permanent loss: the paper's baseline
+                Some(rec) => {
+                    // Sit out the repair time, then rejoin from the
+                    // *current* model at the PS bank — everything the
+                    // other groups learned meanwhile is picked up.
+                    std::thread::sleep(Duration::from_secs_f64(
+                        rec.mttr_iters as f64 * last_iter_secs,
+                    ));
+                    recovered = true;
+                    if rank == 0 {
+                        match bank.fetch_all() {
+                            Ok(replies) => {
+                                flat.clear();
+                                for r in &replies {
+                                    flat.extend_from_slice(&r.params);
+                                }
+                                // Resync the staleness cursor to "now".
+                                last_version = replies[0].version;
+                            }
+                            Err(_) => {
+                                // The bank itself is unreachable: the
+                                // group cannot rejoin. Signal the group
+                                // to stop together below.
+                                let mut status = [0.0f32];
+                                comm.broadcast(0, &mut status);
+                                return;
+                            }
+                        }
+                        let mut status = [1.0f32];
+                        comm.broadcast(0, &mut status);
+                    } else {
+                        let mut status = [0.0f32];
+                        comm.broadcast(0, &mut status);
+                        if status[0] < 0.5 {
+                            return;
+                        }
+                    }
+                    comm.broadcast(0, &mut flat);
+                }
             }
         }
+        let iter_start = Instant::now();
         model.set_flat_params(&flat);
         let indices = sampler.next_batch();
         let (loss, mut grads) = grad(&mut model, &indices);
+
+        // Scheduled straggler: stretch this group's compute phase by the
+        // plan's factor (the all-reduce barrier spreads the slowdown to
+        // the whole group, as a slow node does).
+        let factor = cfg.faults.straggler_factor(group, iter);
+        if factor > 1.0 {
+            let spent = iter_start.elapsed();
+            std::thread::sleep(spent.mul_f64(factor - 1.0));
+        }
 
         // Intra-group synchronous step: average gradients and loss.
         comm.allreduce_mean(&mut grads);
@@ -269,44 +381,90 @@ fn worker<M, B, G>(
         comm.allreduce_mean(&mut lbuf);
         let group_loss = lbuf[0];
 
+        // One status word per iteration keeps the group's fate shared:
+        // if the root's PS exchange fails terminally, every worker of the
+        // group returns together instead of deadlocking in a broadcast.
+        let mut status = [1.0f32];
         if rank == 0 {
+            // Scheduled network delay in front of the exchange.
+            let delay = cfg.faults.message_delay_secs(group, iter);
+            if delay > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(delay));
+            }
             // Root: per-layer PS exchange (asynchronous across groups).
+            // The supervisor behind `update_all` retries and respawns
+            // dead shards; an error here means retries are exhausted.
             let mut blocks = Vec::with_capacity(block_sizes.len());
             let mut off = 0;
             for &len in &block_sizes {
                 blocks.push(grads[off..off + len].to_vec());
                 off += len;
             }
-            let replies = PendingExchange::post(&bank, blocks).wait();
-            // Staleness from the first block's version stream.
-            let v = replies[0].version;
-            let stale = v.saturating_sub(last_version + 1);
-            last_version = v;
-            {
-                let mut s = shared.staleness.lock();
-                s.0 += stale as f64;
-                s.1 += 1;
-                let bucket = (stale as usize).min(STALENESS_BUCKETS - 1);
-                s.2[bucket] += 1;
+            match bank.update_all(&blocks) {
+                Ok(replies) => {
+                    // Staleness from the first block's version stream.
+                    let v = replies[0].version;
+                    let stale = v.saturating_sub(last_version + 1);
+                    last_version = v;
+                    {
+                        let mut s = shared.staleness.lock();
+                        s.0 += stale as f64;
+                        s.1 += 1;
+                        let bucket = (stale as usize).min(STALENESS_BUCKETS - 1);
+                        s.2[bucket] += 1;
+                    }
+                    if recovered {
+                        shared.fault_stats.lock().0 += 1;
+                    }
+                    flat.clear();
+                    for r in &replies {
+                        flat.extend_from_slice(&r.params);
+                    }
+                    shared
+                        .losses
+                        .lock()
+                        .push((t0.elapsed().as_secs_f64(), group_loss));
+
+                    // Periodic crash-safe checkpoint from group 0's root.
+                    if group == 0
+                        && cfg.checkpoint_every > 0
+                        && (iter + 1) % cfg.checkpoint_every == 0
+                    {
+                        if let Some(path) = &cfg.checkpoint_path {
+                            let ck = Checkpoint {
+                                iteration: (iter + 1) as u64,
+                                seed: cfg.seed,
+                                params: flat.clone(),
+                            };
+                            if ck.save(path).is_ok() {
+                                shared.fault_stats.lock().1 += 1;
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    // The PS bank is terminally unreachable for this
+                    // group: it dies, the others keep going.
+                    status[0] = 0.0;
+                }
             }
-            flat.clear();
-            for r in &replies {
-                flat.extend_from_slice(&r.params);
-            }
-            shared
-                .losses
-                .lock()
-                .push((t0.elapsed().as_secs_f64(), group_loss));
+        }
+        comm.broadcast(0, &mut status);
+        if status[0] < 0.5 {
+            return;
         }
         // Root broadcasts the fresh model to its group.
         comm.broadcast(0, &mut flat);
+        last_iter_secs = iter_start.elapsed().as_secs_f64().max(1e-6);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults;
     use scidl_data::HepConfig;
+    use scidl_nn::Sgd;
 
     fn dataset() -> Arc<HepDataset> {
         Arc::new(HepDataset::generate(HepConfig::small(), 64, 77))
@@ -346,6 +504,8 @@ mod tests {
             .fold(0.0f32, f32::max);
         assert!(max_err < 1e-6, "thread engine diverges from SGD by {max_err}");
         assert_eq!(run.mean_staleness, 0.0);
+        assert_eq!(run.ps_respawns, 0);
+        assert_eq!(run.recovered_updates, 0);
     }
 
     #[test]
@@ -401,11 +561,75 @@ mod tests {
         let ds = dataset();
         let mut cfg = ThreadEngineConfig::new(3, 2, 6);
         cfg.iterations = 10;
-        cfg.fail_group_at = Some((1, 3)); // group 1 dies at iteration 3
+        cfg.faults = faults::kill_group(1, 3); // group 1 dies at iteration 3
         let run = ThreadEngine::run(&cfg, Arc::clone(&ds));
         // Two healthy groups × 10 + the failed group's 3 updates.
         assert_eq!(run.updates, 2 * 10 + 3);
+        assert_eq!(run.recovered_updates, 0);
         assert!(run.final_params.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn crashed_group_recovers_and_finishes_the_run() {
+        let ds = dataset();
+        let mut cfg = ThreadEngineConfig::new(3, 2, 6);
+        cfg.iterations = 10;
+        cfg.faults = faults::kill_and_recover_group(1, 3, 2, 0.0);
+        let run = ThreadEngine::run(&cfg, Arc::clone(&ds));
+        // Every group completes all its iterations: the crashed group
+        // contributes its 3 pre-crash updates plus 7 recovered ones.
+        assert_eq!(run.updates, 3 * 10);
+        assert_eq!(run.recovered_updates, 7);
+        assert!(run.final_params.iter().all(|p| p.is_finite()));
+        // The recovery beats the no-recovery baseline by exactly the
+        // recovered updates (23 vs 30).
+        assert!(run.updates > 2 * 10 + 3);
+    }
+
+    #[test]
+    fn ps_crash_mid_run_is_survived_by_the_supervisor() {
+        let ds = dataset();
+        let mut cfg = ThreadEngineConfig::new(2, 1, 4);
+        cfg.iterations = 12;
+        // Shard 0 dies after 5 served requests; the supervisor respawns
+        // it from its snapshot and the run completes fully.
+        cfg.faults = faults::kill_ps_shard(0, 5, 0.0);
+        let run = ThreadEngine::run(&cfg, Arc::clone(&ds));
+        assert_eq!(run.updates, 2 * 12, "no iteration may be lost to the PS crash");
+        assert!(run.ps_respawns >= 1, "the supervisor must have failed over");
+        assert!(run.final_params.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn straggler_and_delay_injection_completes_with_extra_staleness() {
+        let ds = dataset();
+        let mut cfg = ThreadEngineConfig::new(2, 1, 4);
+        cfg.iterations = 8;
+        cfg.faults = FaultPlan::none()
+            .with_straggler(0, 2, 6, 3.0)
+            .with_message_delay(0, 4, 0.002);
+        let run = ThreadEngine::run(&cfg, Arc::clone(&ds));
+        assert_eq!(run.updates, 2 * 8);
+        assert!(run.final_params.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_written_and_loadable() {
+        let ds = dataset();
+        let mut path = std::env::temp_dir();
+        path.push(format!("scidl_engine_ckpt_{}", std::process::id()));
+        let mut cfg = ThreadEngineConfig::new(2, 1, 4);
+        cfg.iterations = 6;
+        cfg.checkpoint_every = 2;
+        cfg.checkpoint_path = Some(path.clone());
+        let run = ThreadEngine::run(&cfg, Arc::clone(&ds));
+        assert_eq!(run.checkpoints_written, 3);
+        let ck = Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(ck.iteration, 6);
+        assert_eq!(ck.seed, cfg.seed);
+        assert_eq!(ck.params.len(), run.final_params.len());
+        assert!(ck.params.iter().all(|p| p.is_finite()));
     }
 
     #[test]

@@ -34,6 +34,56 @@ proptest! {
         prop_assert_eq!(model.flat_params(), run.final_params);
     }
 
+    /// The thread engine conserves update counts under arbitrary
+    /// group-crash fault plans: without recovery the dead group
+    /// contributes exactly its pre-crash iterations; with recovery every
+    /// group finishes its budget and the rejoined work is counted as
+    /// recovered. The staleness histogram accounts for every update and
+    /// staleness stays bounded by the work other groups can do.
+    #[test]
+    fn thread_engine_fault_plan_invariants(
+        groups in 1usize..4,
+        crash_iter in 0usize..5,
+        recover in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use scidl_core::faults;
+        use scidl_core::thread_engine::{ThreadEngine, ThreadEngineConfig};
+        let iters = 5usize;
+        let ds = std::sync::Arc::new(HepDataset::generate(HepConfig::small(), 48, seed));
+        let mut cfg = ThreadEngineConfig::new(groups, 2, 8);
+        cfg.iterations = iters;
+        cfg.seed = seed;
+        cfg.faults = if recover {
+            faults::kill_and_recover_group(0, crash_iter, 1, 0.0)
+        } else {
+            faults::kill_group(0, crash_iter)
+        };
+        let run = ThreadEngine::run(&cfg, ds);
+        let expected = if recover {
+            (groups * iters) as u64
+        } else {
+            ((groups - 1) * iters + crash_iter) as u64
+        };
+        prop_assert_eq!(run.updates, expected);
+        if recover {
+            prop_assert_eq!(run.recovered_updates, (iters - crash_iter) as u64);
+        } else {
+            prop_assert_eq!(run.recovered_updates, 0);
+        }
+        prop_assert_eq!(run.staleness_histogram.iter().sum::<u64>(), run.updates);
+        prop_assert_eq!(run.curve.len() as u64, run.updates);
+        // Staleness is bounded by the total work the *other* groups can
+        // interleave; a single group is fully synchronous even across a
+        // crash-and-recover cycle.
+        prop_assert!(run.mean_staleness <= ((groups - 1) * iters) as f64);
+        if groups == 1 {
+            prop_assert_eq!(run.mean_staleness, 0.0);
+        }
+        prop_assert_eq!(run.ps_respawns, 0);
+        prop_assert!(run.final_params.iter().all(|p| p.is_finite()));
+    }
+
     /// Checkpoints round-trip arbitrary parameter vectors exactly.
     #[test]
     fn checkpoint_roundtrip_arbitrary_params(

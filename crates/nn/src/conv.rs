@@ -97,8 +97,8 @@ impl Conv2d {
                 if self.k == 3
                     && self.stride == 1
                     && self.pad == 1
-                    && ishape.h % 2 == 0
-                    && ishape.w % 2 == 0 =>
+                    && ishape.h.is_multiple_of(2)
+                    && ishape.w.is_multiple_of(2) =>
             {
                 ConvAlgorithm::Winograd
             }

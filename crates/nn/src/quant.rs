@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn bf16_is_idempotent_and_close() {
-        for &x in &[0.0f32, 1.0, -1.0, 3.14159, 1e-8, 1e8, -123.456] {
+        for &x in &[0.0f32, 1.0, -1.0, std::f32::consts::PI, 1e-8, 1e8, -123.456] {
             let r = bf16_round(x);
             assert_eq!(bf16_round(r), r, "idempotent at {x}");
             if x != 0.0 {

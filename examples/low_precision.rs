@@ -15,7 +15,7 @@ use std::thread;
 fn main() {
     // 1. Numeric formats.
     println!("bfloat16 rounding (Sec. VIII-A's low-precision formats):");
-    for x in [3.14159_f32, 0.001234, 123456.7] {
+    for x in [std::f32::consts::PI, 0.001234, 123456.7] {
         println!("  {x:>12.6} -> {:>12.6}", bf16_round(x));
     }
 

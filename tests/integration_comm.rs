@@ -49,7 +49,7 @@ fn ring_and_tree_allreduce_agree_on_real_gradients() {
         .zip(grads)
         .map(|((rank, (tx, rx)), mut g)| {
             thread::spawn(move || {
-                ring_allreduce_mean(rank, n, &mut g, &tx, &rx);
+                ring_allreduce_mean(rank, n, &mut g, &tx, &rx).unwrap();
                 g
             })
         })
@@ -107,7 +107,7 @@ fn ps_bank_matches_local_solver_on_real_model() {
         blocks.push(grads[off..off + len].to_vec());
         off += len;
     }
-    let replies = bank.update_all(blocks);
+    let replies = bank.update_all(blocks).unwrap();
     let remote: Vec<f32> = replies.into_iter().flat_map(|r| r.params).collect();
 
     assert_eq!(local.len(), remote.len());

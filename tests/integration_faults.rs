@@ -1,0 +1,74 @@
+//! Cross-crate integration of the fault-injection subsystem: a
+//! parameter-server thread is killed in the middle of real multi-group
+//! training and the run must complete anyway — the supervisor fails the
+//! shard over from its snapshot instead of aborting the process
+//! (Sec. VIII-A taken one step past the paper).
+
+use scidl_core::faults;
+use scidl_core::thread_engine::{ThreadEngine, ThreadEngineConfig};
+use scidl_data::{HepConfig, HepDataset};
+use std::sync::Arc;
+
+/// Killing a PS shard mid-run no longer takes the process down: every
+/// group finishes its budget, the failover is visible in the summary,
+/// and the loss curve has the same shape as a fault-free run.
+#[test]
+fn ps_kill_mid_run_completes_training() {
+    let ds = Arc::new(HepDataset::generate(HepConfig::small(), 192, 91));
+    let mut cfg = ThreadEngineConfig::new(3, 2, 12);
+    cfg.iterations = 8;
+    cfg.lr = 3e-3;
+    cfg.momentum = 0.5;
+    cfg.seed = 0xFA17;
+
+    let clean = ThreadEngine::run(&cfg, Arc::clone(&ds));
+    assert_eq!(clean.updates, 3 * 8);
+    assert_eq!(clean.ps_respawns, 0);
+
+    // Same run, but shard 1 dies after serving 7 requests.
+    cfg.faults = faults::kill_ps_shard(1, 7, 0.0);
+    let faulted = ThreadEngine::run(&cfg, ds);
+
+    assert_eq!(
+        faulted.updates, 3 * 8,
+        "the PS crash must not cost any group any iteration"
+    );
+    assert!(
+        faulted.ps_respawns >= 1,
+        "the supervisor should have failed the shard over at least once"
+    );
+    assert_eq!(faulted.curve.len(), clean.curve.len());
+
+    // Loss-curve shape is preserved: the failover neither spikes nor
+    // stalls the curve relative to a fault-free run of the same config.
+    let tail_mean = |c: &scidl_core::metrics::LossCurve| {
+        let n = c.points.len();
+        c.points[n - 6..].iter().map(|p| p.1).sum::<f32>() / 6.0
+    };
+    let (clean_tail, faulted_tail) = (tail_mean(&clean.curve), tail_mean(&faulted.curve));
+    assert!(
+        (clean_tail - faulted_tail).abs() < 0.1,
+        "failover distorted the loss curve: clean tail {clean_tail}, faulted tail {faulted_tail}"
+    );
+    assert!(faulted.curve.points.iter().all(|p| p.1.is_finite()));
+    for p in &faulted.final_params {
+        assert!(p.is_finite());
+    }
+}
+
+/// A group crash and a PS crash in the same run: recovery and failover
+/// compose, and the run still beats the no-recovery update count.
+#[test]
+fn combined_group_and_ps_faults_compose() {
+    let ds = Arc::new(HepDataset::generate(HepConfig::small(), 192, 92));
+    let mut cfg = ThreadEngineConfig::new(3, 2, 12);
+    cfg.iterations = 8;
+    cfg.seed = 0xFA18;
+    cfg.faults = faults::kill_and_recover_group(2, 3, 2, 0.0)
+        .with_ps_crash(0, 9, 0.0);
+
+    let run = ThreadEngine::run(&cfg, ds);
+    assert_eq!(run.updates, 3 * 8, "recovery restores the full budget");
+    assert_eq!(run.recovered_updates, 8 - 3);
+    assert!(run.ps_respawns >= 1);
+}

@@ -1,0 +1,181 @@
+//! Minimal bench harness with criterion's API shape, covering the
+//! subset this workspace uses: `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `sample_size`, `throughput`,
+//! `BenchmarkId::from_parameter`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros. Used because the build
+//! environment cannot reach crates.io (see `[patch.crates-io]` in the
+//! root `Cargo.toml`).
+//!
+//! No statistics: each benchmark is timed over a fixed number of
+//! batches and the mean per-iteration wall time is printed. Good
+//! enough to detect order-of-magnitude regressions offline; swap the
+//! patch out for real criterion when network access is available.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-value hint preventing the optimiser from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation (recorded, printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier distinguishing parameterised benchmark cases.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a displayable parameter.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        Self(p.to_string())
+    }
+
+    /// Builds an id from a function name and parameter.
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-benchmark timing driver passed to bench closures.
+pub struct Bencher {
+    samples: u32,
+    mean: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean wall time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then timed batches.
+        std_black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std_black_box(routine());
+        }
+        let total = start.elapsed();
+        self.iters_done = self.samples as u64;
+        self.mean = total / self.samples.max(1);
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n# group: {name}");
+        BenchmarkGroup { _parent: self, name: name.to_string(), samples: 20, throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, 20, None, f);
+        self
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: u32,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u32;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a named benchmark in this group.
+    pub fn bench_function<F, D>(&mut self, id: D, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+        D: std::fmt::Display,
+    {
+        run_one(&format!("{}/{}", self.name, id), self.samples, self.throughput, f);
+        self
+    }
+
+    /// Runs a named benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.samples, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (prints nothing extra in the stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: u32, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { samples, mean: Duration::ZERO, iters_done: 0 };
+    f(&mut b);
+    let per_iter = b.mean;
+    let rate = match tp {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            format!("  {:.3e} elem/s", n as f64 / per_iter.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            format!("  {:.3} MiB/s", n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<48} {per_iter:>12.3?}/iter{rate}");
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,390 @@
+//! Mini property-testing harness with proptest's API shape, covering
+//! the subset this workspace uses: the `proptest!` macro, range and
+//! `any::<T>()` strategies, `proptest::collection::vec`, `prop_map`,
+//! and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//! Used because the build environment cannot reach crates.io (see
+//! `[patch.crates-io]` in the root `Cargo.toml`).
+//!
+//! Differences from real proptest: no shrinking (a failing case panics
+//! with the generated inputs in the message), and value generation is
+//! a deterministic per-test stream seeded from the test's module path.
+
+/// Deterministic RNG driving value generation.
+pub mod test_runner {
+    /// xorshift64* stream, seeded from the test name.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a deterministic RNG from an arbitrary seed string.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a of the test path, never zero.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h | 1 }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform draw in `[lo, hi)` for integer-ish ranges.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+
+    /// Marker for a case rejected by `prop_assume!`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Rejected;
+
+    /// Test-runner configuration (only `cases` is honoured).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Strategies: how to generate values of a type.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator (no shrinking in this stand-in).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u8, u16, u32, u64);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    /// Strategy returned by [`crate::prelude::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    macro_rules! any_uint_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_uint_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (rng.unit_f64() * 2.0 - 1.0) as f32 * 1.0e3
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            (rng.unit_f64() * 2.0 - 1.0) * 1.0e3
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// Length specification for [`vec`]: a fixed size, a `Range`, or a
+    /// `RangeInclusive` (mirrors proptest's `SizeRange` conversions).
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            Self { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty length range");
+            Self { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        let len = len.into();
+        VecStrategy { element, min_len: len.min, max_len: len.max_exclusive }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_len - self.min_len) as u64;
+            let n = self.min_len + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// `any::<T>()` strategy for primitive types.
+    pub fn any<T>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(std::marker::PhantomData)
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            // Cap rejection loops (prop_assume!) at 16x the case budget.
+            while __accepted < __cfg.cases && __attempts < __cfg.cases.saturating_mul(16) {
+                __attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if __outcome.is_ok() {
+                    __accepted += 1;
+                }
+            }
+            assert!(
+                __accepted > 0,
+                "prop_assume! rejected every generated case in {}",
+                stringify!($name)
+            );
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..9, b in -5i32..5, x in 0.5f32..2.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_cases(n in 0usize..10) {
+            prop_assume!(n >= 5);
+            prop_assert!(n >= 5);
+        }
+
+        #[test]
+        fn vec_and_map_strategies(v in crate::collection::vec(0u32..7, 1..20),
+                                  half in (0i32..100).prop_map(|x| x / 2)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 7));
+            prop_assert!((0..50).contains(&half));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Sequential drop-in for the subset of rayon this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace patches `rayon` to this crate (see `[patch.crates-io]` in
+//! the root `Cargo.toml`). The `par_*` methods simply return the
+//! ordinary sequential slice iterators; every adapter the workspace
+//! chains on them (`enumerate`, `zip`, `map`, `sum`, `for_each`) is a
+//! plain `Iterator` method, so call sites compile unchanged and produce
+//! identical results — just without the parallel speedup.
+
+pub mod prelude {
+    /// `par_iter`/`par_chunks` over shared slices (sequential here).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s parallel iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon`'s parallel chunk iterator.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut`/`par_chunks_mut` over mutable slices (sequential).
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s parallel iterator.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s parallel chunk iterator.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
