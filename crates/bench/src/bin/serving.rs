@@ -1,0 +1,171 @@
+//! Serving benchmark — the latency/throughput frontier of dynamic
+//! batching versus batch-1 on one KNL node running the HEP classifier.
+//!
+//! Sweeps offered load (open-loop Poisson arrivals at fractions and
+//! multiples of the node's batch-32 saturated rate) × batching policy
+//! through the deterministic virtual-time simulator
+//! (`scidl-serve::sim`), so a fixed seed reproduces every number bit for
+//! bit. Emits the frontier as a markdown table on stdout and as
+//! `results/serving.csv`.
+//!
+//! The acceptance check: at saturating offered load, dynamic batching
+//! must sustain ≥2× the throughput of batch-1 (the small-batch
+//! efficiency cliff of Sec. II-A, exploited instead of suffered), with
+//! p99 latency reported for both policies.
+//!
+//! ```text
+//! cargo run --release -p scidl-bench --bin serving [--smoke]
+//! ```
+
+use scidl_bench::{csv, fnum, markdown_table};
+use scidl_serve::queue::BatchPolicy;
+use scidl_serve::sim::{simulate, ServiceModel, SimConfig};
+use scidl_serve::PoissonArrivals;
+use std::time::Duration;
+
+const SEED: u64 = 4242;
+
+struct Point {
+    offered: f64,
+    policy: &'static str,
+    completed: usize,
+    rejected: usize,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    queue_share: f64,
+}
+
+fn run_point(
+    model: &ServiceModel,
+    policy: BatchPolicy,
+    policy_name: &'static str,
+    offered: f64,
+    n: usize,
+    seed: u64,
+) -> Point {
+    let arrivals: Vec<f64> = PoissonArrivals::new(seed, offered, n).collect();
+    let cfg = SimConfig { workers: 1, queue_capacity: 128, policy };
+    let out = simulate(model, &arrivals, &cfg);
+    let total = out.recorder.total_summary().expect("at least one request served");
+    Point {
+        offered,
+        policy: policy_name,
+        completed: out.completed,
+        rejected: out.rejected,
+        throughput: out.throughput(),
+        p50_ms: total.p50 * 1e3,
+        p99_ms: total.p99 * 1e3,
+        queue_share: out.recorder.queue_share().unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 400 } else { 2000 };
+
+    let model = ServiceModel::hep();
+    let r1 = model.saturated_rate(1);
+    let r32 = model.saturated_rate(32);
+    println!("serving frontier: HEP classifier on one KNL node (seed {SEED}, {n} requests/point)\n");
+    println!(
+        "node capacity: batch-1 {} req/s ({} ms/image), batch-32 {} req/s ({} ms/image)\n",
+        fnum(r1, 1),
+        fnum(1e3 / r1, 2),
+        fnum(r32, 1),
+        fnum(1e3 / r32, 2)
+    );
+
+    let dynamic = BatchPolicy::dynamic(32, Duration::from_millis(10));
+    let policies = [(BatchPolicy::batch1(), "batch-1"), (dynamic, "dynamic-32")];
+    // Offered load from well under batch-1 capacity to 2× the batch-32
+    // saturated rate (where even perfect batching must shed load).
+    let load_factors = [0.5, 0.9, 1.5, 2.5, 4.0, 8.0];
+
+    let mut points = Vec::new();
+    for (li, &f) in load_factors.iter().enumerate() {
+        for (policy, name) in policies {
+            points.push(run_point(&model, policy, name, f * r1, n, SEED + li as u64));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{} req/s", fnum(p.offered, 0)),
+                p.policy.to_string(),
+                p.completed.to_string(),
+                p.rejected.to_string(),
+                format!("{} req/s", fnum(p.throughput, 1)),
+                format!("{} ms", fnum(p.p50_ms, 2)),
+                format!("{} ms", fnum(p.p99_ms, 2)),
+                format!("{}%", fnum(100.0 * p.queue_share, 0)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["offered", "policy", "served", "shed", "throughput", "p50", "p99", "queue share"],
+            &rows
+        )
+    );
+
+    let csv_rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                fnum(p.offered, 3),
+                p.policy.to_string(),
+                p.completed.to_string(),
+                p.rejected.to_string(),
+                fnum(p.throughput, 3),
+                fnum(p.p50_ms, 4),
+                fnum(p.p99_ms, 4),
+                fnum(p.queue_share, 4),
+            ]
+        })
+        .collect();
+    let csv_text = csv(
+        &["offered_rps", "policy", "served", "shed", "throughput_rps", "p50_ms", "p99_ms", "queue_share"],
+        &csv_rows,
+    );
+    std::fs::create_dir_all("results").ok();
+    match std::fs::write("results/serving.csv", &csv_text) {
+        Ok(()) => println!("frontier written to results/serving.csv"),
+        Err(e) => println!("(could not write results/serving.csv: {e})"),
+    }
+
+    // --- acceptance: dynamic ≥2× batch-1 at saturating offered load ----
+    let saturating = *load_factors.last().unwrap() * r1;
+    let at_sat = |name: &str| {
+        points
+            .iter()
+            .find(|p| p.policy == name && (p.offered - saturating).abs() < 1e-9)
+            .unwrap()
+    };
+    let b1 = at_sat("batch-1");
+    let dy = at_sat("dynamic-32");
+    let speedup = dy.throughput / b1.throughput;
+    println!(
+        "\nat saturating load ({} req/s offered):",
+        fnum(saturating, 0)
+    );
+    println!(
+        "  batch-1    sustains {} req/s, p99 {} ms",
+        fnum(b1.throughput, 1),
+        fnum(b1.p99_ms, 2)
+    );
+    println!(
+        "  dynamic-32 sustains {} req/s, p99 {} ms",
+        fnum(dy.throughput, 1),
+        fnum(dy.p99_ms, 2)
+    );
+    println!("  dynamic batching speedup: {}x", fnum(speedup, 2));
+    assert!(
+        speedup >= 2.0,
+        "acceptance: dynamic batching must sustain ≥2× batch-1 at saturation, got {speedup:.2}×"
+    );
+    println!("  acceptance: ≥2× sustained throughput — PASS");
+}

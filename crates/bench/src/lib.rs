@@ -19,6 +19,7 @@
 //! | `ablation_ps` | per-layer PS vs single PS |
 //! | `ablation_momentum` | momentum × asynchrony grid |
 //! | `resilience` | Sec. VIII-A — failure behaviour |
+//! | `serving` | dynamic-batching latency/throughput frontier (`scidl-serve`) |
 //!
 //! Criterion benches (`cargo bench -p scidl-bench`) measure the real Rust
 //! kernels (GEMM/conv/all-reduce) and the simulator itself.

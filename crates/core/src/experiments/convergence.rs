@@ -117,15 +117,17 @@ pub fn fig8(scale: &Fig8Scale, seed: u64) -> Fig8Result {
         });
     }
 
-    // Target: a loss all healthy runs eventually reach — the median of
-    // the runs' best smoothed losses, relaxed by 10%.
-    let bests: Vec<f32> = runs
+    // Target: a loss all healthy runs eventually reach — the upper-median
+    // of the runs' best smoothed losses, relaxed by 10%. (`sorted[n/2]`
+    // is the type-1 upper median; percentile(0.5) interpolates, so use
+    // the rank that preserves the historical target.)
+    let bests: Vec<f64> = runs
         .iter()
         .filter_map(|r| r.curve.best_smoothed(scale.smooth_window))
+        .map(f64::from)
         .collect();
-    let mut sorted = bests.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let target_loss = sorted[sorted.len() / 2] * 1.1;
+    let q = (bests.len() / 2) as f64 / (bests.len() - 1).max(1) as f64;
+    let target_loss = (crate::metrics::percentile(&bests, q) * 1.1) as f32;
 
     for r in &mut runs {
         r.time_to_target = r.curve.time_to_loss(target_loss, scale.smooth_window);

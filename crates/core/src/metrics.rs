@@ -1,5 +1,90 @@
 //! Training-run metrics: loss curves over (simulated or real) time, the
-//! time-to-loss readout of Fig. 8, and speedup tables.
+//! time-to-loss readout of Fig. 8, and speedup tables — plus the
+//! per-request latency accounting used by the `scidl-serve` inference
+//! subsystem (queue wait vs compute split, p50/p95/p99).
+//!
+//! Percentile/summary-stat math is shared workspace-wide through
+//! [`scidl_tensor::stats`]; this module re-exports it so metrics
+//! consumers have a single import point.
+
+pub use scidl_tensor::stats::{median, percentile, percentile_sorted, Summary};
+
+/// Per-request serving latency accounting: each completed request
+/// contributes its queue wait (submit → batch formation) and its compute
+/// time (share of the batched forward pass). Total latency is their sum.
+///
+/// This is the serving-side analogue of the paper's throughput
+/// bookkeeping (Sec. V): sustained numbers come from completed work over
+/// wall-clock, and the tail (p99) — not the mean — is what a
+/// production latency budget is written against.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    queue: Vec<f64>,
+    compute: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request.
+    pub fn push(&mut self, queue_secs: f64, compute_secs: f64) {
+        debug_assert!(queue_secs >= 0.0 && compute_secs >= 0.0);
+        self.queue.push(queue_secs);
+        self.compute.push(compute_secs);
+    }
+
+    /// Merges another recorder's samples (used to combine per-worker
+    /// recorders).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.queue.extend_from_slice(&other.queue);
+        self.compute.extend_from_slice(&other.compute);
+    }
+
+    /// Number of completed requests recorded.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Summary of total (queue + compute) request latency. `None` when
+    /// empty.
+    pub fn total_summary(&self) -> Option<Summary> {
+        (!self.is_empty()).then(|| {
+            let totals: Vec<f64> =
+                self.queue.iter().zip(&self.compute).map(|(q, c)| q + c).collect();
+            Summary::from_samples(&totals)
+        })
+    }
+
+    /// Summary of queue-wait time alone.
+    pub fn queue_summary(&self) -> Option<Summary> {
+        (!self.is_empty()).then(|| Summary::from_samples(&self.queue))
+    }
+
+    /// Summary of compute time alone.
+    pub fn compute_summary(&self) -> Option<Summary> {
+        (!self.is_empty()).then(|| Summary::from_samples(&self.compute))
+    }
+
+    /// Fraction of mean total latency spent waiting in the queue, in
+    /// `[0, 1]`. `None` when empty.
+    pub fn queue_share(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let q: f64 = self.queue.iter().sum();
+        let c: f64 = self.compute.iter().sum();
+        let t = q + c;
+        (t > 0.0).then(|| q / t)
+    }
+}
 
 /// A loss trajectory over time.
 #[derive(Clone, Debug, Default)]

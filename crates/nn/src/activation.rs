@@ -3,7 +3,7 @@
 //! uses an elementwise sigmoid on its confidence map, provided here as a
 //! free function pair used by the loss.
 
-use crate::layer::Layer;
+use crate::layer::{InferScratch, Layer};
 use scidl_tensor::{Shape4, Tensor};
 
 /// Rectified linear unit, `y = max(0, x)`.
@@ -34,6 +34,11 @@ impl Layer for Relu {
         self.in_shape = input.shape();
         self.mask.clear();
         self.mask.extend(input.data().iter().map(|&x| x > 0.0));
+        let data = input.data().iter().map(|&x| x.max(0.0)).collect();
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn infer(&self, input: &Tensor, _scratch: &mut InferScratch) -> Tensor {
         let data = input.data().iter().map(|&x| x.max(0.0)).collect();
         Tensor::from_vec(input.shape(), data)
     }

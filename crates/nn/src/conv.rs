@@ -1,6 +1,6 @@
 //! 2-D convolution layer (im2col + GEMM lowering).
 
-use crate::layer::{Layer, ParamBlock};
+use crate::layer::{InferScratch, Layer, ParamBlock};
 use scidl_tensor::{col2im, gemm, im2col, ConvGeometry, Shape4, Tensor, TensorRng, Transpose};
 
 /// Forward-pass algorithm selection for [`Conv2d`] — the fast-convolution
@@ -225,6 +225,60 @@ impl Layer for Conv2d {
             }
         }
         self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn infer(&self, input: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        let ishape = input.shape();
+
+        match self.fast_path(ishape) {
+            ConvAlgorithm::Winograd => {
+                return crate::winograd::winograd_conv3x3(
+                    input,
+                    &self.weight.value,
+                    self.bias.value.data(),
+                );
+            }
+            ConvAlgorithm::Fft => {
+                return crate::fftconv::fft_conv(input, &self.weight.value, self.bias.value.data(), self.pad);
+            }
+            ConvAlgorithm::Im2colGemm => {}
+        }
+
+        let geo = self.geometry(ishape.h, ishape.w);
+        let oshape = geo.out_shape(ishape.n);
+        let mut out = Tensor::zeros(oshape);
+        let (rows, cols) = (geo.col_rows(), geo.col_cols());
+
+        // Sequential per-item loop: the same per-item arithmetic as both
+        // forward paths (the parallel path partitions over items without
+        // changing any reduction order), so outputs are bit-identical.
+        scratch.col.resize(rows * cols, 0.0);
+        for n in 0..ishape.n {
+            im2col(&geo, input.item(n), &mut scratch.col);
+            gemm(
+                Transpose::No,
+                Transpose::No,
+                self.cout,
+                cols,
+                rows,
+                1.0,
+                self.weight.value.data(),
+                &scratch.col,
+                0.0,
+                out.item_mut(n),
+            );
+            let plane = cols;
+            let item = out.item_mut(n);
+            for c in 0..self.cout {
+                let b = self.bias.value.data()[c];
+                if b != 0.0 {
+                    for v in &mut item[c * plane..(c + 1) * plane] {
+                        *v += b;
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -513,6 +567,21 @@ mod tests {
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f32, f32::max);
             assert!(err < 1e-5, "item {n}: max err {err}");
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward_for_all_algorithms() {
+        use crate::layer::InferScratch;
+        let mut xr = TensorRng::new(6161);
+        let x = xr.uniform_tensor(Shape4::new(3, 3, 8, 8), -1.0, 1.0);
+        for alg in [ConvAlgorithm::Im2colGemm, ConvAlgorithm::Winograd, ConvAlgorithm::Fft] {
+            let mut r = rng();
+            let mut conv = Conv2d::new("c", 3, 8, 3, 1, 1, &mut r).with_algorithm(alg);
+            let want = conv.forward(&x);
+            let mut scratch = InferScratch::new();
+            let got = conv.infer(&x, &mut scratch);
+            assert_eq!(want.data(), got.data(), "{alg:?}: infer must be bit-identical");
         }
     }
 

@@ -8,7 +8,7 @@
 //! [`Deconv2d::backward`]'s data path is `W · im2col(dy)` (a conv
 //! forward), so the two layers share all their kernels.
 
-use crate::layer::{Layer, ParamBlock};
+use crate::layer::{InferScratch, Layer, ParamBlock};
 use scidl_tensor::{col2im, gemm, im2col, ConvGeometry, Shape4, Tensor, TensorRng, Transpose};
 
 /// A 2-D transposed convolution with square kernel and uniform stride.
@@ -124,6 +124,42 @@ impl Layer for Deconv2d {
             }
         }
         self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn infer(&self, input: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        let ishape = input.shape();
+        let geo = self.mirror_geometry(ishape.h, ishape.w);
+        let oshape = self.out_shape(ishape);
+        let mut out = Tensor::zeros(oshape);
+        let (rows, cols) = (geo.col_rows(), geo.col_cols());
+        scratch.col.resize(rows * cols, 0.0);
+
+        for n in 0..ishape.n {
+            gemm(
+                Transpose::Yes,
+                Transpose::No,
+                rows,
+                cols,
+                self.cin,
+                1.0,
+                self.weight.value.data(),
+                input.item(n),
+                0.0,
+                &mut scratch.col,
+            );
+            col2im(&geo, &scratch.col, out.item_mut(n));
+            let plane = oshape.plane_len();
+            let item = out.item_mut(n);
+            for c in 0..self.cout {
+                let b = self.bias.value.data()[c];
+                if b != 0.0 {
+                    for v in &mut item[c * plane..(c + 1) * plane] {
+                        *v += b;
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -334,6 +370,17 @@ mod tests {
         let lhs: f64 = cx.data().iter().zip(y.data()).map(|(a, b)| *a as f64 * *b as f64).sum();
         let rhs: f64 = x.data().iter().zip(dy.data()).map(|(a, b)| *a as f64 * *b as f64).sum();
         assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn infer_matches_forward_bit_identically() {
+        use crate::layer::InferScratch;
+        let mut r = rng();
+        let mut d = Deconv2d::new("d", 3, 2, 4, 2, 1, &mut r);
+        let x = r.uniform_tensor(Shape4::new(2, 3, 5, 5), -1.0, 1.0);
+        let want = d.forward(&x);
+        let got = d.infer(&x, &mut InferScratch::new());
+        assert_eq!(want.data(), got.data());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! layers ("to not use layers with large dense weights", Sec. I) so that
 //! the model stays cheap to all-reduce at scale.
 
-use crate::layer::{Layer, ParamBlock};
+use crate::layer::{InferScratch, Layer, ParamBlock};
 use scidl_tensor::{gemm, Shape4, Tensor, TensorRng, Transpose};
 
 /// Dense layer `y = W x + b`, flattening each batch item.
@@ -75,6 +75,31 @@ impl Layer for Dense {
             }
         }
         self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn infer(&self, input: &Tensor, _scratch: &mut InferScratch) -> Tensor {
+        let os = self.out_shape(input.shape());
+        let n = input.shape().n;
+        let mut out = Tensor::zeros(os);
+        gemm(
+            Transpose::No,
+            Transpose::Yes,
+            n,
+            self.output_len,
+            self.input_len,
+            1.0,
+            input.data(),
+            self.weight.value.data(),
+            0.0,
+            out.data_mut(),
+        );
+        for i in 0..n {
+            let row = &mut out.data_mut()[i * self.output_len..(i + 1) * self.output_len];
+            for (v, &b) in row.iter_mut().zip(self.bias.value.data()) {
+                *v += b;
+            }
+        }
         out
     }
 

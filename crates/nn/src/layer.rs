@@ -45,12 +45,32 @@ impl ParamBlock {
     }
 }
 
+/// Caller-owned scratch buffers for the inference-only forward path
+/// ([`Layer::infer`]). Serving workers keep one instance each: layers
+/// borrow what they need (the im2col lowering buffer) instead of
+/// allocating per call or mutating layer-owned caches, so a shared
+/// `&Network` can run concurrent inference.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    /// im2col/col2im lowering buffer shared by the convolution-family
+    /// layers; grown on demand, reused across layers and requests.
+    pub col: Vec<f32>,
+}
+
+impl InferScratch {
+    /// Creates an empty scratch pad.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A stateful neural-network layer (Caffe execution model).
 ///
 /// `forward` caches whatever activations `backward` will need; `backward`
 /// consumes the cached state, accumulates parameter gradients into its
 /// [`ParamBlock`]s and returns the gradient with respect to the input.
-pub trait Layer: Send {
+/// [`Layer::infer`] is the stateless counterpart used at serving time.
+pub trait Layer: Send + Sync {
     /// Layer instance name (unique within a network), e.g. `"conv3"`.
     fn name(&self) -> &str;
 
@@ -64,6 +84,13 @@ pub trait Layer: Send {
     /// Backward pass: gradient w.r.t. output in, gradient w.r.t. input
     /// out. Must be called after `forward` with a matching shape.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Inference-only forward pass: computes *exactly* the same function
+    /// as [`Layer::forward`] — bit-identical output — without caching
+    /// activations or touching any mutable layer state. Takes `&self` so
+    /// one model can be shared read-only across serving workers; per-call
+    /// buffers come from the caller's [`InferScratch`].
+    fn infer(&self, input: &Tensor, scratch: &mut InferScratch) -> Tensor;
 
     /// Immutable access to the parameter blocks (empty for stateless
     /// layers).

@@ -67,7 +67,7 @@ pub use activation::Relu;
 pub use conv::Conv2d;
 pub use deconv::Deconv2d;
 pub use dense::Dense;
-pub use layer::{Layer, ParamBlock};
+pub use layer::{InferScratch, Layer, ParamBlock};
 pub use loss::{DetectionLoss, DetectionTargets, SoftmaxCrossEntropy};
 pub use lstm::Lstm;
 pub use network::Network;

@@ -1,7 +1,7 @@
 //! Sequential network container and the `Model` abstraction used by the
 //! distributed engines.
 
-use crate::layer::{Layer, ParamBlock};
+use crate::layer::{InferScratch, Layer, ParamBlock};
 use scidl_tensor::{Shape4, Tensor};
 
 /// Anything with trainable parameters that the distributed engines in
@@ -127,6 +127,26 @@ impl Network {
         let mut x = input.clone();
         for l in &mut self.layers {
             x = l.forward(&x);
+        }
+        x
+    }
+
+    /// Inference-only forward pass: same function as [`Network::forward`]
+    /// bit-for-bit, but `&self` — no activation caching, no layer-state
+    /// mutation — so one network instance can serve many readers.
+    /// Allocates its own scratch; serving hot paths should hold an
+    /// [`InferScratch`] per worker and call [`Network::infer_with`].
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        let mut scratch = InferScratch::new();
+        self.infer_with(input, &mut scratch)
+    }
+
+    /// Inference forward reusing caller-provided scratch buffers (one per
+    /// serving worker keeps steady-state allocation bounded).
+    pub fn infer_with(&self, input: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        let mut x = input.clone();
+        for l in &self.layers {
+            x = l.infer(&x, scratch);
         }
         x
     }
@@ -307,6 +327,51 @@ mod tests {
                 analytic[idx]
             );
         }
+    }
+
+    #[test]
+    fn infer_is_bit_identical_to_forward() {
+        // Batch 6 exercises Conv2d's batch-parallel forward path against
+        // infer's sequential loop; equality must be exact, not approximate.
+        let mut rng = TensorRng::new(42);
+        let mut net = tiny_net(&mut rng);
+        let x = rng.uniform_tensor(Shape4::new(6, 1, 8, 8), -1.0, 1.0);
+        let y_train = net.forward(&x);
+        let y_infer = net.infer(&x);
+        assert_eq!(y_train.shape(), y_infer.shape());
+        assert_eq!(y_train.data(), y_infer.data());
+    }
+
+    #[test]
+    fn infer_bit_identical_for_residual_nets() {
+        let mut rng = TensorRng::new(43);
+        let mut net = crate::residual::resnet_small(1, 2, &mut rng);
+        let x = rng.uniform_tensor(Shape4::new(3, 1, 16, 16), -1.0, 1.0);
+        let y_train = net.forward(&x);
+        let mut scratch = InferScratch::new();
+        let y_infer = net.infer_with(&x, &mut scratch);
+        assert_eq!(y_train.data(), y_infer.data());
+        // Scratch reuse across calls must not change results.
+        let again = net.infer_with(&x, &mut scratch);
+        assert_eq!(y_infer.data(), again.data());
+    }
+
+    #[test]
+    fn infer_does_not_disturb_training_state() {
+        let mut rng = TensorRng::new(44);
+        let mut net = tiny_net(&mut rng);
+        let x = rng.uniform_tensor(Shape4::new(2, 1, 8, 8), -1.0, 1.0);
+        // Reference gradients with no infer interleaved.
+        let y = net.forward(&x);
+        net.backward(&Tensor::filled(y.shape(), 1.0));
+        let want = net.flat_grads();
+        net.zero_grads();
+        // forward → infer → backward: infer must not clobber the caches
+        // backward depends on.
+        let y2 = net.forward(&x);
+        let _ = net.infer(&x);
+        net.backward(&Tensor::filled(y2.shape(), 1.0));
+        assert_eq!(net.flat_grads(), want);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! a deliberate design choice of the paper (no large dense layers) that
 //! keeps the model small enough to all-reduce cheaply at scale.
 
-use crate::layer::Layer;
+use crate::layer::{InferScratch, Layer};
 use scidl_tensor::{Shape4, Tensor};
 
 /// Max pooling with square kernel and uniform stride (no padding).
@@ -81,6 +81,40 @@ impl Layer for MaxPool2d {
         out
     }
 
+    fn infer(&self, input: &Tensor, _scratch: &mut InferScratch) -> Tensor {
+        let is = input.shape();
+        let os = self.out_shape(is);
+        let mut out = Tensor::zeros(os);
+
+        let data = input.data();
+        let odata = out.data_mut();
+        let mut oi = 0usize;
+        for n in 0..is.n {
+            for c in 0..is.c {
+                let base = (n * is.c + c) * is.plane_len();
+                for oy in 0..os.h {
+                    for ox in 0..os.w {
+                        let y0 = oy * self.stride;
+                        let x0 = ox * self.stride;
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..self.k {
+                            let row = base + (y0 + ky) * is.w + x0;
+                            for kx in 0..self.k {
+                                let v = data[row + kx];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        odata[oi] = best;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.len(), self.argmax.len(), "{}: backward before forward", self.name);
         let mut grad_in = Tensor::zeros(self.in_shape);
@@ -127,6 +161,21 @@ impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let is = input.shape();
         self.in_shape = is;
+        let mut out = Tensor::zeros(self.out_shape(is));
+        let plane = is.plane_len();
+        let inv = 1.0 / plane as f32;
+        for n in 0..is.n {
+            for c in 0..is.c {
+                let base = (n * is.c + c) * plane;
+                let s: f32 = input.data()[base..base + plane].iter().sum();
+                out.data_mut()[n * is.c + c] = s * inv;
+            }
+        }
+        out
+    }
+
+    fn infer(&self, input: &Tensor, _scratch: &mut InferScratch) -> Tensor {
+        let is = input.shape();
         let mut out = Tensor::zeros(self.out_shape(is));
         let plane = is.plane_len();
         let inv = 1.0 / plane as f32;

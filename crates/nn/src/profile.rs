@@ -8,6 +8,7 @@
 //! harness).
 
 use crate::network::Network;
+use scidl_tensor::stats::Summary;
 use scidl_tensor::{Shape4, Tensor, TensorRng};
 use std::time::Instant;
 
@@ -24,6 +25,11 @@ pub struct LayerProfile {
     pub forward_flops: u64,
     /// Backward FLOPs per iteration.
     pub backward_flops: u64,
+    /// Per-repetition forward-time distribution (shared stats machinery
+    /// from `scidl_tensor::stats`; `forward_secs` is its mean).
+    pub forward_stats: Summary,
+    /// Per-repetition backward-time distribution.
+    pub backward_stats: Summary,
 }
 
 impl LayerProfile {
@@ -52,8 +58,8 @@ pub fn profile_network(net: &mut Network, input: Shape4, warmup: usize, reps: us
     let x = rng.uniform_tensor(input, -1.0, 1.0);
 
     let layer_count = net.layers().len();
-    let mut fwd = vec![0.0f64; layer_count];
-    let mut bwd = vec![0.0f64; layer_count];
+    let mut fwd: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); layer_count];
+    let mut bwd: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); layer_count];
     let mut shapes = Vec::with_capacity(layer_count);
     {
         let mut s = input;
@@ -72,7 +78,7 @@ pub fn profile_network(net: &mut Network, input: Shape4, warmup: usize, reps: us
             let t0 = Instant::now();
             act = l.forward(&act);
             if timed {
-                fwd[i] += t0.elapsed().as_secs_f64();
+                fwd[i].push(t0.elapsed().as_secs_f64());
             }
         }
         // Backward with a unit gradient.
@@ -81,7 +87,7 @@ pub fn profile_network(net: &mut Network, input: Shape4, warmup: usize, reps: us
             let t0 = Instant::now();
             g = l.backward(&g);
             if timed {
-                bwd[i] += t0.elapsed().as_secs_f64();
+                bwd[i].push(t0.elapsed().as_secs_f64());
             }
         }
         // Keep gradient buffers from growing unboundedly.
@@ -93,12 +99,18 @@ pub fn profile_network(net: &mut Network, input: Shape4, warmup: usize, reps: us
     net.layers()
         .iter()
         .enumerate()
-        .map(|(i, l)| LayerProfile {
-            name: l.name().to_string(),
-            forward_secs: fwd[i] / reps as f64,
-            backward_secs: bwd[i] / reps as f64,
-            forward_flops: batch * l.forward_flops_per_image(shapes[i]),
-            backward_flops: batch * l.backward_flops_per_image(shapes[i]),
+        .map(|(i, l)| {
+            let forward_stats = Summary::from_samples(&fwd[i]);
+            let backward_stats = Summary::from_samples(&bwd[i]);
+            LayerProfile {
+                name: l.name().to_string(),
+                forward_secs: forward_stats.mean,
+                backward_secs: backward_stats.mean,
+                forward_flops: batch * l.forward_flops_per_image(shapes[i]),
+                backward_flops: batch * l.backward_flops_per_image(shapes[i]),
+                forward_stats,
+                backward_stats,
+            }
         })
         .collect()
 }
@@ -136,6 +148,8 @@ mod tests {
         for lp in &p {
             assert!(lp.forward_secs >= 0.0);
             assert!(lp.backward_secs >= 0.0);
+            assert_eq!(lp.forward_stats.count, 2);
+            assert!(lp.forward_stats.min <= lp.forward_secs && lp.forward_secs <= lp.forward_stats.max);
         }
         // Convolutions dominate FLOPs.
         assert!(p[0].forward_flops > p[1].forward_flops);

@@ -9,7 +9,7 @@
 //! it exposes the standard [`Layer`] interface.
 
 use crate::conv::Conv2d;
-use crate::layer::{Layer, ParamBlock};
+use crate::layer::{InferScratch, Layer, ParamBlock};
 use crate::network::{Model, Network};
 use scidl_tensor::{Shape4, Tensor, TensorRng};
 
@@ -72,6 +72,15 @@ impl Layer for Residual {
         let mut y = self.inner.forward(input);
         match &mut self.projection {
             Some(p) => y.add_assign(&p.forward(input)),
+            None => y.add_assign(input),
+        }
+        y
+    }
+
+    fn infer(&self, input: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        let mut y = self.inner.infer_with(input, scratch);
+        match &self.projection {
+            Some(p) => y.add_assign(&p.infer(input, scratch)),
             None => y.add_assign(input),
         }
         y

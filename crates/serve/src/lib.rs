@@ -1,0 +1,40 @@
+//! `scidl-serve` — dynamic-batching inference serving for trained
+//! `scidl` models.
+//!
+//! Training at 15 PF (the paper's subject) produces checkpoints; this
+//! crate is the other half of the lifecycle: answering classification
+//! requests from those checkpoints at low latency. The KNL efficiency
+//! analysis that shapes training (small minibatches waste the node —
+//! Sec. II-A) bites serving even harder, because an open-loop request
+//! stream naturally arrives one image at a time. The subsystem therefore
+//! centres on a *dynamic batcher* that coalesces concurrent requests up
+//! to a batch-size cap or a queueing deadline, trading a bounded latency
+//! increase for a multiple of sustained throughput.
+//!
+//! Modules:
+//!
+//! * [`queue`] — bounded MPMC request queue + deadline batch former
+//!   ([`BatchPolicy`], [`BatchQueue`]),
+//! * [`registry`] — checkpoint loading with the bit-identical round-trip
+//!   guarantee and atomic hot-swap ([`ModelRegistry`]),
+//! * [`server`] — the worker pool over `scidl_nn::Network::infer_with`
+//!   ([`Server`], [`Client`]),
+//! * [`loadgen`] — seeded open-loop Poisson arrivals and HEP request
+//!   inputs ([`PoissonArrivals`]),
+//! * [`sim`] — deterministic virtual-time replay of the same semantics
+//!   against the calibrated KNL cost model ([`simulate`]), which is what
+//!   `scidl-bench serving` sweeps.
+
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod queue;
+pub mod registry;
+pub mod server;
+pub mod sim;
+
+pub use loadgen::{HepRequestSource, PoissonArrivals};
+pub use queue::{BatchPolicy, BatchQueue, QueueFull};
+pub use registry::{check_roundtrip, ModelRegistry, ServingModel};
+pub use server::{Client, InferResult, ServeError, Server, ServerConfig};
+pub use sim::{simulate, ServiceModel, SimConfig, SimOutcome};

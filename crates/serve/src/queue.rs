@@ -1,0 +1,241 @@
+//! The dynamic batcher: a bounded request queue plus a deadline-driven
+//! batch former.
+//!
+//! The core serving problem on KNL-class hardware is the small-batch
+//! efficiency cliff (Sec. II-A / Fig. 5 of the paper): a batch-1 forward
+//! pass achieves a fraction of the throughput of a batch-32 pass. The
+//! batch former therefore coalesces queued requests until either
+//! `max_batch` requests are waiting or the *oldest* request has waited
+//! `max_delay` — bounding added latency while letting throughput ride the
+//! batch-efficiency curve.
+//!
+//! Backpressure is open-loop friendly: `submit` never blocks. When the
+//! queue holds `capacity` requests the submission is rejected and the
+//! request handed back to the caller ([`QueueFull`]), which is the
+//! load-shedding behaviour an overloaded serving tier wants (reject
+//! early, keep tail latency of accepted work bounded).
+//!
+//! Built directly on `std::sync::{Mutex, Condvar}` because the batch
+//! former needs `wait_timeout` for the deadline path.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batch-formation policy: coalesce up to `max_batch` requests, but never
+/// hold the oldest request longer than `max_delay`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch the former will assemble.
+    pub max_batch: usize,
+    /// Longest the oldest queued request may wait for co-batching.
+    pub max_delay: Duration,
+}
+
+impl BatchPolicy {
+    /// Dynamic batching: up to `max_batch`, deadline `max_delay`.
+    pub fn dynamic(max_batch: usize, max_delay: Duration) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        Self { max_batch, max_delay }
+    }
+
+    /// The baseline policy: every request is its own batch.
+    pub fn batch1() -> Self {
+        Self { max_batch: 1, max_delay: Duration::ZERO }
+    }
+}
+
+/// Error returned by [`BatchQueue::submit`] when the queue is at
+/// capacity (or closed); the rejected request is handed back.
+#[derive(Debug)]
+pub struct QueueFull<T>(pub T);
+
+/// One queued request with its arrival timestamp (for the queue-wait
+/// component of the latency split).
+struct Pending<T> {
+    item: T,
+    arrived: Instant,
+}
+
+struct Inner<T> {
+    items: VecDeque<Pending<T>>,
+    closed: bool,
+}
+
+/// Bounded MPMC request queue with batch-forming consumers.
+pub struct BatchQueue<T> {
+    inner: Mutex<Inner<T>>,
+    notify: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// Creates a queue admitting at most `capacity` waiting requests.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        Self {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false }),
+            notify: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a request without blocking. Returns it in [`QueueFull`]
+    /// when the queue is at capacity or already closed.
+    pub fn submit(&self, item: T) -> Result<(), QueueFull<T>> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(QueueFull(item));
+        }
+        g.items.push_back(Pending { item, arrived: Instant::now() });
+        drop(g);
+        self.notify.notify_all();
+        Ok(())
+    }
+
+    /// Number of requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: subsequent `submit`s are rejected; consumers
+    /// drain what remains and then observe end-of-stream.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.notify.notify_all();
+    }
+
+    /// Blocks until a batch can be formed under `policy`, returning the
+    /// requests paired with their queue wait. Returns `None` once the
+    /// queue is closed *and* drained.
+    ///
+    /// Formation rule: dispatch as soon as `max_batch` requests wait, or
+    /// when the oldest request has waited `max_delay` (then take whatever
+    /// is present). Close flushes immediately.
+    pub fn pop_batch(&self, policy: &BatchPolicy) -> Option<Vec<(T, Duration)>> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.items.is_empty() {
+                if g.closed {
+                    return None;
+                }
+                g = self.notify.wait(g).unwrap();
+                continue;
+            }
+            if g.items.len() >= policy.max_batch || g.closed {
+                return Some(Self::drain(&mut g, policy.max_batch));
+            }
+            let deadline = g.items[0].arrived + policy.max_delay;
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(Self::drain(&mut g, policy.max_batch));
+            }
+            // Woken by a new arrival, close, or the deadline; the loop
+            // re-evaluates all three conditions, so spurious wakes and
+            // consumer races are benign.
+            (g, _) = self.notify.wait_timeout(g, deadline - now).unwrap();
+        }
+    }
+
+    fn drain(g: &mut Inner<T>, max_batch: usize) -> Vec<(T, Duration)> {
+        let k = g.items.len().min(max_batch);
+        let now = Instant::now();
+        g.items
+            .drain(..k)
+            .map(|p| (p.item, now.saturating_duration_since(p.arrived)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_batch_dispatches_without_waiting_for_deadline() {
+        let q = BatchQueue::new(16);
+        for i in 0..4 {
+            q.submit(i).unwrap();
+        }
+        let policy = BatchPolicy::dynamic(4, Duration::from_secs(3600));
+        let t0 = Instant::now();
+        let batch = q.pop_batch(&policy).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert!(t0.elapsed() < Duration::from_secs(1), "must not wait for the deadline");
+        let ids: Vec<i32> = batch.into_iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "FIFO order");
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let q = BatchQueue::new(16);
+        q.submit(7).unwrap();
+        let policy = BatchPolicy::dynamic(8, Duration::from_millis(20));
+        let t0 = Instant::now();
+        let batch = q.pop_batch(&policy).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(t0.elapsed() >= Duration::from_millis(15), "should wait out the deadline");
+    }
+
+    #[test]
+    fn batch1_policy_never_coalesces() {
+        let q = BatchQueue::new(16);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        let policy = BatchPolicy::batch1();
+        assert_eq!(q.pop_batch(&policy).unwrap().len(), 1);
+        assert_eq!(q.pop_batch(&policy).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn capacity_rejects_and_hands_back() {
+        let q = BatchQueue::new(2);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        let QueueFull(rejected) = q.submit(3).unwrap_err();
+        assert_eq!(rejected, 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BatchQueue::new(8);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        q.close();
+        assert!(q.submit(3).is_err(), "closed queue rejects");
+        let policy = BatchPolicy::dynamic(8, Duration::from_secs(3600));
+        // Close flushes immediately even though the batch is partial.
+        assert_eq!(q.pop_batch(&policy).unwrap().len(), 2);
+        assert!(q.pop_batch(&policy).is_none(), "drained + closed = end of stream");
+    }
+
+    #[test]
+    fn producer_wakes_blocked_consumer() {
+        let q = Arc::new(BatchQueue::new(8));
+        let qc = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            qc.pop_batch(&BatchPolicy::dynamic(2, Duration::from_millis(50)))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        q.submit(41).unwrap();
+        q.submit(42).unwrap();
+        let batch = consumer.join().unwrap().unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn queue_wait_is_recorded() {
+        let q = BatchQueue::new(8);
+        q.submit(1).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let batch = q.pop_batch(&BatchPolicy::batch1()).unwrap();
+        assert!(batch[0].1 >= Duration::from_millis(5), "wait {:?}", batch[0].1);
+    }
+}

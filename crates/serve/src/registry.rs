@@ -1,0 +1,243 @@
+//! Checkpoint-backed model registry with atomic hot-swap.
+//!
+//! Serving must keep answering while a newer training snapshot loads:
+//! the registry holds the active model behind `RwLock<Arc<..>>`. Readers
+//! (`current`) clone the `Arc` under a read lock — a few nanoseconds —
+//! and keep serving from their snapshot even while `swap` publishes a
+//! replacement, so a batch never observes a half-loaded model.
+//!
+//! Loading goes through `scidl-core::checkpoint` (checksummed, crash-safe
+//! files) and enforces the **round-trip guarantee**: a freshly restored
+//! network must produce *bit-identical* logits to the network that wrote
+//! the checkpoint. The format stores raw little-endian f32 bits and
+//! [`scidl_nn::Network::infer`] is bit-deterministic, so any mismatch
+//! means corruption or architecture drift — serving refuses the swap.
+
+use scidl_core::checkpoint::Checkpoint;
+use scidl_nn::network::Model;
+use scidl_nn::Network;
+use scidl_tensor::Tensor;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// An immutable, servable model snapshot: the network plus the training
+/// cursor it was captured at.
+pub struct ServingModel {
+    /// The network (read-only at serving time; use [`Network::infer`]).
+    pub network: Network,
+    /// Training iteration the snapshot was taken at.
+    pub iteration: u64,
+    /// RNG seed of the training run that produced it.
+    pub seed: u64,
+}
+
+impl std::fmt::Debug for ServingModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingModel")
+            .field("network", &self.network.name())
+            .field("iteration", &self.iteration)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl ServingModel {
+    /// Wraps an in-memory network as a servable snapshot.
+    pub fn new(network: Network, iteration: u64, seed: u64) -> Self {
+        Self { network, iteration, seed }
+    }
+
+    /// Loads a checkpoint from `path` into `arch` (a freshly built
+    /// network of the architecture that wrote it).
+    pub fn load(path: &Path, mut arch: Network) -> io::Result<Self> {
+        let ck = Checkpoint::load(path)?;
+        if ck.params.len() != arch.num_params() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint has {} params but architecture {} expects {}",
+                    ck.params.len(),
+                    arch.name(),
+                    arch.num_params()
+                ),
+            ));
+        }
+        ck.restore(&mut arch);
+        Ok(Self::new(arch, ck.iteration, ck.seed))
+    }
+}
+
+/// Checks the checkpoint round-trip guarantee: `loaded` must produce
+/// bit-identical logits to `source` on `probe`. Comparison is on f32
+/// *bits* so NaN payloads and signed zeros cannot hide drift.
+pub fn check_roundtrip(source: &Network, loaded: &Network, probe: &Tensor) -> Result<(), String> {
+    let want = source.infer(probe);
+    let got = loaded.infer(probe);
+    if want.shape() != got.shape() {
+        return Err(format!(
+            "round-trip shape mismatch: {:?} vs {:?}",
+            want.shape(),
+            got.shape()
+        ));
+    }
+    for (i, (a, b)) in want.data().iter().zip(got.data()).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Err(format!(
+                "round-trip logit drift at flat index {i}: {a} ({:#010x}) vs {b} ({:#010x})",
+                a.to_bits(),
+                b.to_bits()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The registry serving workers read the active model from.
+pub struct ModelRegistry {
+    active: RwLock<Arc<ServingModel>>,
+}
+
+impl ModelRegistry {
+    /// Creates a registry serving `model`.
+    pub fn new(model: ServingModel) -> Self {
+        Self { active: RwLock::new(Arc::new(model)) }
+    }
+
+    /// The currently active model. Cheap (Arc clone under a read lock);
+    /// the returned snapshot stays valid across concurrent swaps.
+    pub fn current(&self) -> Arc<ServingModel> {
+        Arc::clone(&self.active.read().unwrap())
+    }
+
+    /// Atomically publishes `model`, returning the previous snapshot.
+    /// In-flight batches keep their old `Arc` and finish on it.
+    pub fn swap(&self, model: ServingModel) -> Arc<ServingModel> {
+        std::mem::replace(&mut *self.active.write().unwrap(), Arc::new(model))
+    }
+
+    /// Loads a checkpoint and hot-swaps it in. When `verify` is given as
+    /// `(source, probe)`, the round-trip guarantee is checked *before*
+    /// publication and the swap refused on any drift.
+    pub fn load_and_swap(
+        &self,
+        path: &Path,
+        arch: Network,
+        verify: Option<(&Network, &Tensor)>,
+    ) -> io::Result<Arc<ServingModel>> {
+        let model = ServingModel::load(path, arch)?;
+        if let Some((source, probe)) = verify {
+            check_roundtrip(source, &model.network, probe)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        }
+        Ok(self.swap(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scidl_nn::arch::hep_small;
+    use scidl_tensor::{Shape4, TensorRng};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("scidl_serve_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn loaded_checkpoint_serves_bit_identical_logits() {
+        let mut rng = TensorRng::new(11);
+        let source = hep_small(&mut rng);
+        let path = tmp("roundtrip");
+        Checkpoint::capture(&source, 42, 7).save(&path).unwrap();
+
+        let mut rng2 = TensorRng::new(999); // different init, fully overwritten
+        let model = ServingModel::load(&path, hep_small(&mut rng2)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(model.iteration, 42);
+        assert_eq!(model.seed, 7);
+
+        let mut xr = TensorRng::new(5);
+        let probe = xr.uniform_tensor(Shape4::new(3, 3, 32, 32), -1.0, 1.0);
+        check_roundtrip(&source, &model.network, &probe).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_check_catches_single_param_drift() {
+        let mut rng = TensorRng::new(12);
+        let source = hep_small(&mut rng);
+        let mut rng2 = TensorRng::new(12);
+        let mut drifted = hep_small(&mut rng2);
+        let mut p = drifted.flat_params();
+        p[100] += 1e-3;
+        drifted.set_flat_params(&p);
+
+        let mut xr = TensorRng::new(6);
+        let probe = xr.uniform_tensor(Shape4::new(2, 3, 32, 32), -1.0, 1.0);
+        let err = check_roundtrip(&source, &drifted, &probe).unwrap_err();
+        assert!(err.contains("drift"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_wrong_architecture() {
+        let mut rng = TensorRng::new(13);
+        let source = hep_small(&mut rng);
+        let path = tmp("wrongarch");
+        Checkpoint::capture(&source, 1, 1).save(&path).unwrap();
+        let mut rng2 = TensorRng::new(14);
+        // The full 224px HEP network has a different parameter count.
+        let err = ServingModel::load(&path, scidl_nn::arch::hep_network(&mut rng2)).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("expects"), "{err}");
+    }
+
+    #[test]
+    fn swap_is_atomic_and_preserves_in_flight_snapshots() {
+        let mut rng = TensorRng::new(15);
+        let reg = ModelRegistry::new(ServingModel::new(hep_small(&mut rng), 1, 0));
+        let held = reg.current();
+        assert_eq!(held.iteration, 1);
+
+        let mut rng2 = TensorRng::new(16);
+        let old = reg.swap(ServingModel::new(hep_small(&mut rng2), 2, 0));
+        assert_eq!(old.iteration, 1);
+        assert_eq!(reg.current().iteration, 2);
+        // The snapshot taken before the swap is still fully usable.
+        assert_eq!(held.iteration, 1);
+        let mut xr = TensorRng::new(7);
+        let probe = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
+        assert!(held.network.infer(&probe).all_finite());
+    }
+
+    #[test]
+    fn load_and_swap_refuses_corrupt_roundtrip() {
+        let mut rng = TensorRng::new(17);
+        let source = hep_small(&mut rng);
+        let path = tmp("refuse");
+        Checkpoint::capture(&source, 3, 0).save(&path).unwrap();
+
+        let mut rngr = TensorRng::new(18);
+        let reg = ModelRegistry::new(ServingModel::new(hep_small(&mut rngr), 0, 0));
+        let mut xr = TensorRng::new(8);
+        let probe = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
+
+        // Against a *different* source network the round-trip must fail
+        // and the active model must stay untouched.
+        let mut rng3 = TensorRng::new(19);
+        let other = hep_small(&mut rng3);
+        let mut rng4 = TensorRng::new(20);
+        let err = reg
+            .load_and_swap(&path, hep_small(&mut rng4), Some((&other, &probe)))
+            .unwrap_err();
+        assert!(err.to_string().contains("drift"), "{err}");
+        assert_eq!(reg.current().iteration, 0, "failed verify must not publish");
+
+        // Against the true source it succeeds.
+        let mut rng5 = TensorRng::new(21);
+        reg.load_and_swap(&path, hep_small(&mut rng5), Some((&source, &probe))).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reg.current().iteration, 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! The serving worker pool: threads that pull batches from the
+//! [`BatchQueue`](crate::queue::BatchQueue), run the active model's
+//! inference-only forward path, and scatter per-request results back to
+//! waiting clients.
+//!
+//! Each worker owns one [`InferScratch`] (reused across batches, so the
+//! im2col buffer is allocated once) and one
+//! [`LatencyRecorder`] capturing the queue-wait / compute split of every
+//! request it served; `shutdown` merges the per-worker recorders into the
+//! run's latency account. Replies travel over rendezvous
+//! `std::sync::mpsc::sync_channel(1)` pairs, so a slow client never
+//! blocks a worker (the send buffers one result and returns).
+
+use crate::queue::{BatchPolicy, BatchQueue, QueueFull};
+use crate::registry::ModelRegistry;
+use scidl_core::metrics::LatencyRecorder;
+use scidl_nn::InferScratch;
+use scidl_tensor::{Shape4, Tensor};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A single inference request travelling through the queue.
+pub struct ServeRequest {
+    /// Input tensor with batch dimension 1: shape `(1, c, h, w)`.
+    pub input: Tensor,
+    reply: SyncSender<InferResult>,
+}
+
+/// The answer a client receives for one request.
+#[derive(Clone, Debug)]
+pub struct InferResult {
+    /// Raw output logits for this request.
+    pub logits: Vec<f32>,
+    /// Time the request sat in the queue before its batch formed.
+    pub queue_wait: Duration,
+    /// Wall time of the batched forward pass that served it.
+    pub compute: Duration,
+    /// Size of the batch this request was served in.
+    pub batch_size: usize,
+    /// Training iteration of the model snapshot that answered.
+    pub model_iteration: u64,
+}
+
+/// Why a request could not be served.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue was full (or the server is shutting down); the
+    /// request was shed at admission.
+    Rejected,
+    /// The worker dropped the reply channel without answering (only
+    /// possible during shutdown with in-flight requests).
+    Disconnected,
+    /// The input did not have batch dimension 1.
+    BadInput(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected => write!(f, "request rejected: queue at capacity or closed"),
+            ServeError::Disconnected => write!(f, "server dropped the request during shutdown"),
+            ServeError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Worker-pool configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Number of worker threads pulling batches.
+    pub workers: usize,
+    /// Bound on the request queue; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Batch-formation policy.
+    pub policy: BatchPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 1, queue_capacity: 64, policy: BatchPolicy::dynamic(8, Duration::from_millis(10)) }
+    }
+}
+
+/// Handle for submitting requests to a running [`Server`]. Cheap to
+/// clone; clones share the same bounded queue.
+#[derive(Clone)]
+pub struct Client {
+    queue: Arc<BatchQueue<ServeRequest>>,
+}
+
+impl Client {
+    /// Submits `input` (shape `(1, c, h, w)`) without waiting for the
+    /// answer; the result arrives on the returned receiver. Sheds the
+    /// request with [`ServeError::Rejected`] when the queue is full.
+    pub fn submit(&self, input: Tensor) -> Result<Receiver<InferResult>, ServeError> {
+        if input.shape().n != 1 {
+            return Err(ServeError::BadInput(format!(
+                "expected batch dimension 1, got shape {:?}",
+                input.shape()
+            )));
+        }
+        let (reply, rx) = sync_channel(1);
+        match self.queue.submit(ServeRequest { input, reply }) {
+            Ok(()) => Ok(rx),
+            Err(QueueFull(_)) => Err(ServeError::Rejected),
+        }
+    }
+
+    /// Submits `input` and blocks until the result arrives.
+    pub fn infer(&self, input: Tensor) -> Result<InferResult, ServeError> {
+        self.submit(input)?.recv().map_err(|_| ServeError::Disconnected)
+    }
+}
+
+/// A running worker pool bound to a [`ModelRegistry`].
+pub struct Server {
+    queue: Arc<BatchQueue<ServeRequest>>,
+    workers: Vec<JoinHandle<LatencyRecorder>>,
+}
+
+impl Server {
+    /// Spawns `cfg.workers` threads serving the registry's active model.
+    /// Hot-swapping the registry redirects the *next* batch of every
+    /// worker; in-flight batches finish on the snapshot they started with.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        let queue = Arc::new(BatchQueue::new(cfg.queue_capacity));
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let registry = Arc::clone(&registry);
+                let policy = cfg.policy;
+                std::thread::spawn(move || worker_loop(&queue, &registry, &policy))
+            })
+            .collect();
+        Self { queue, workers }
+    }
+
+    /// A handle for submitting requests.
+    pub fn client(&self) -> Client {
+        Client { queue: Arc::clone(&self.queue) }
+    }
+
+    /// Number of requests currently queued (not yet batched).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops admitting requests, drains the queue, joins the workers and
+    /// returns the merged latency account of everything served.
+    pub fn shutdown(self) -> LatencyRecorder {
+        self.queue.close();
+        let mut merged = LatencyRecorder::new();
+        for w in self.workers {
+            merged.merge(&w.join().expect("serving worker panicked"));
+        }
+        merged
+    }
+}
+
+fn worker_loop(
+    queue: &BatchQueue<ServeRequest>,
+    registry: &ModelRegistry,
+    policy: &BatchPolicy,
+) -> LatencyRecorder {
+    let mut scratch = InferScratch::new();
+    let mut recorder = LatencyRecorder::new();
+    while let Some(batch) = queue.pop_batch(policy) {
+        let model = registry.current();
+        let b = batch.len();
+        let item_shape = batch[0].0.input.shape();
+        let mut x = Tensor::zeros(Shape4::new(b, item_shape.c, item_shape.h, item_shape.w));
+        for (i, (req, _)) in batch.iter().enumerate() {
+            assert_eq!(
+                req.input.shape(),
+                item_shape,
+                "all requests in a batch must share the model's input shape"
+            );
+            x.item_mut(i).copy_from_slice(req.input.item(0));
+        }
+        let t0 = Instant::now();
+        let y = model.network.infer_with(&x, &mut scratch);
+        let compute = t0.elapsed();
+        for (i, (req, queue_wait)) in batch.into_iter().enumerate() {
+            recorder.push(queue_wait.as_secs_f64(), compute.as_secs_f64());
+            // A client that dropped its receiver just loses the answer.
+            let _ = req.reply.send(InferResult {
+                logits: y.item(i).to_vec(),
+                queue_wait,
+                compute,
+                batch_size: b,
+                model_iteration: model.iteration,
+            });
+        }
+    }
+    recorder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelRegistry, ServingModel};
+    use scidl_nn::arch::hep_small;
+    use scidl_tensor::TensorRng;
+
+    fn registry(seed: u64, iteration: u64) -> Arc<ModelRegistry> {
+        let mut rng = TensorRng::new(seed);
+        Arc::new(ModelRegistry::new(ServingModel::new(hep_small(&mut rng), iteration, seed)))
+    }
+
+    fn probe(seed: u64) -> Tensor {
+        let mut rng = TensorRng::new(seed);
+        rng.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0)
+    }
+
+    #[test]
+    fn served_logits_match_direct_inference() {
+        let reg = registry(31, 5);
+        let server = Server::start(Arc::clone(&reg), ServerConfig::default());
+        let client = server.client();
+        let x = probe(1);
+        let want = reg.current().network.infer(&x);
+        let got = client.infer(x).unwrap();
+        assert_eq!(got.logits, want.item(0), "served logits must be bit-identical");
+        assert_eq!(got.model_iteration, 5);
+        let rec = server.shutdown();
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn batched_requests_each_get_their_own_logits() {
+        let reg = registry(32, 0);
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            policy: BatchPolicy::dynamic(4, Duration::from_millis(200)),
+        };
+        let server = Server::start(Arc::clone(&reg), cfg);
+        let client = server.client();
+        let inputs: Vec<Tensor> = (0..4).map(|i| probe(100 + i)).collect();
+        let rxs: Vec<_> = inputs.iter().map(|x| client.submit(x.clone()).unwrap()).collect();
+        for (x, rx) in inputs.iter().zip(rxs) {
+            let got = rx.recv().unwrap();
+            let want = reg.current().network.infer(x);
+            assert_eq!(got.logits, want.item(0));
+        }
+        let rec = server.shutdown();
+        assert_eq!(rec.len(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_batch_dimension() {
+        let reg = registry(33, 0);
+        let server = Server::start(reg, ServerConfig::default());
+        let client = server.client();
+        let mut rng = TensorRng::new(2);
+        let x = rng.uniform_tensor(Shape4::new(2, 3, 32, 32), -1.0, 1.0);
+        assert!(matches!(client.infer(x), Err(ServeError::BadInput(_))));
+        server.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_redirects_subsequent_requests() {
+        let reg = registry(34, 1);
+        let server = Server::start(Arc::clone(&reg), ServerConfig::default());
+        let client = server.client();
+        assert_eq!(client.infer(probe(3)).unwrap().model_iteration, 1);
+        let mut rng = TensorRng::new(35);
+        reg.swap(ServingModel::new(hep_small(&mut rng), 2, 35));
+        assert_eq!(client.infer(probe(3)).unwrap().model_iteration, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_merges_latency_accounts_across_workers() {
+        let reg = registry(36, 0);
+        let cfg = ServerConfig { workers: 2, queue_capacity: 64, policy: BatchPolicy::batch1() };
+        let server = Server::start(reg, cfg);
+        let client = server.client();
+        let rxs: Vec<_> = (0..6).map(|i| client.submit(probe(200 + i)).unwrap()).collect();
+        for rx in rxs {
+            rx.recv().unwrap();
+        }
+        let rec = server.shutdown();
+        assert_eq!(rec.len(), 6);
+        let total = rec.total_summary().unwrap();
+        assert!(total.min >= 0.0 && total.count == 6);
+    }
+}

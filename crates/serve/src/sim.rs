@@ -1,0 +1,349 @@
+//! Deterministic discrete-event simulation of the serving tier.
+//!
+//! The real threaded server ([`crate::server`]) measures wall-clock time
+//! and is therefore not reproducible run to run. The benchmark sweep
+//! instead replays a fixed arrival schedule against a *virtual-time*
+//! model of the same queue/batcher/worker-pool semantics, with batch
+//! service times taken from the calibrated KNL node model
+//! (`scidl-cluster::knl`). Every quantity is pure f64 arithmetic over the
+//! seeded schedule, so a given `(seed, rate, policy)` produces
+//! bit-identical latency frontiers on every run — the property the
+//! `scidl-bench serving` acceptance check relies on.
+//!
+//! Semantics mirrored from the real implementation:
+//!
+//! * bounded queue, arrivals rejected when `queue_capacity` are waiting,
+//! * batch forms when `max_batch` requests wait or the oldest has waited
+//!   `max_delay`, whichever comes first,
+//! * a batch starts when a worker is free (the trigger can be delayed by
+//!   a busy pool, in which case later arrivals may join the batch),
+//! * per-request latency = queue wait (arrival → batch start) + compute
+//!   (the whole batch's service time).
+
+use crate::queue::BatchPolicy;
+use scidl_cluster::knl::{KnlModel, LayerCost, RateClass};
+use scidl_core::metrics::LatencyRecorder;
+use scidl_nn::arch;
+use scidl_nn::network::Network;
+use scidl_tensor::{Shape4, TensorRng};
+
+/// Inference-time cost model of one network on one KNL node: per-layer
+/// *forward-only* costs plus the calibrated node model.
+pub struct ServiceModel {
+    /// Human-readable workload name.
+    pub name: String,
+    /// Forward-only per-layer costs (`train_flops_per_image` holds the
+    /// forward FLOPs here; there is no backward pass at serving time).
+    pub layers: Vec<LayerCost>,
+    /// The node model supplying rates and the small-batch penalty.
+    pub knl: KnlModel,
+}
+
+impl ServiceModel {
+    /// Builds the forward-only cost table for `net` at `input`, using the
+    /// same name-based rate classification as `scidl-core::workloads` but
+    /// with forward FLOPs and forward-only activation traffic.
+    pub fn for_network(name: &str, net: &Network, input: Shape4, knl: KnlModel) -> Self {
+        let mut s = input.with_n(1);
+        let mut layers = Vec::with_capacity(net.layers().len());
+        for l in net.layers() {
+            let lname = l.name().to_string();
+            let fwd = l.forward_flops_per_image(s);
+            let os = l.out_shape(s);
+            let class = if lname.starts_with("conv")
+                || lname.starts_with("enc")
+                || lname.starts_with("head")
+            {
+                RateClass::Conv { cin: s.c }
+            } else if lname.starts_with("dec") && !lname.contains("relu") {
+                RateClass::Conv { cin: os.c }
+            } else if lname.starts_with("fc") {
+                RateClass::DenseSmall
+            } else {
+                // Forward touches input + output activations once.
+                let bytes = 4 * (s.item_len() + os.item_len());
+                RateClass::MemoryBound { bytes_per_image: bytes as u64 }
+            };
+            layers.push(LayerCost { name: lname, train_flops_per_image: fwd, class });
+            s = os;
+        }
+        Self { name: name.into(), layers, knl }
+    }
+
+    /// The paper's HEP classifier at its 224×224 input on a default KNL
+    /// node — the workload the serving acceptance criterion is stated on.
+    pub fn hep() -> Self {
+        let mut rng = TensorRng::new(0);
+        let net = arch::hep_network(&mut rng);
+        Self::for_network("hep", &net, arch::HEP_INPUT, KnlModel::default())
+    }
+
+    /// Service time of one forward pass over a batch of `b` requests.
+    pub fn batch_secs(&self, b: usize) -> f64 {
+        self.knl.compute_time(&self.layers, b)
+    }
+
+    /// Saturated throughput (images/s) when serving back-to-back batches
+    /// of exactly `b`.
+    pub fn saturated_rate(&self, b: usize) -> f64 {
+        b.max(1) as f64 / self.batch_secs(b)
+    }
+}
+
+/// Virtual-time serving configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of parallel workers (KNL nodes) pulling batches.
+    pub workers: usize,
+    /// Bounded queue capacity; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Batch-formation policy.
+    pub policy: BatchPolicy,
+}
+
+/// Everything the simulation observed.
+pub struct SimOutcome {
+    /// Queue-wait / compute split of every *served* request.
+    pub recorder: LatencyRecorder,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests shed at admission (queue full).
+    pub rejected: usize,
+    /// Virtual time at which the last batch finished.
+    pub makespan: f64,
+    /// Ids of served requests, in dispatch order.
+    pub served_ids: Vec<usize>,
+    /// Ids of shed requests, in arrival order.
+    pub rejected_ids: Vec<usize>,
+    /// Size of every dispatched batch, in dispatch order.
+    pub batch_sizes: Vec<usize>,
+}
+
+impl SimOutcome {
+    /// Sustained goodput: served requests per virtual second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.completed as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+}
+
+struct SimState<'a> {
+    model: &'a ServiceModel,
+    policy: BatchPolicy,
+    max_delay: f64,
+    queue: Vec<(usize, f64)>,
+    worker_free: Vec<f64>,
+    out: SimOutcome,
+}
+
+impl SimState<'_> {
+    /// Forms and dispatches every batch whose start time is ≤ `t_limit`.
+    fn drain_until(&mut self, t_limit: f64) {
+        loop {
+            if self.queue.is_empty() {
+                return;
+            }
+            // When is the batch former triggered? Either the queue
+            // already holds a full batch (triggered the moment the
+            // `max_batch`-th request arrived) or the head's deadline.
+            let trigger = if self.queue.len() >= self.policy.max_batch {
+                self.queue[self.policy.max_batch - 1].1
+            } else {
+                self.queue[0].1 + self.max_delay
+            };
+            // The batch actually starts when a worker is also free.
+            let free = self.worker_free.iter().cloned().fold(f64::INFINITY, f64::min);
+            let start = trigger.max(free).max(self.queue[0].1);
+            if start > t_limit {
+                return;
+            }
+            // Everything that arrived by the start instant is eligible;
+            // a busy pool lets late arrivals ride along.
+            let eligible = self.queue.iter().take_while(|&&(_, a)| a <= start).count();
+            let b = eligible.min(self.policy.max_batch);
+            let svc = self.model.batch_secs(b);
+            for &(id, arrived) in &self.queue[..b] {
+                self.out.recorder.push(start - arrived, svc);
+                self.out.served_ids.push(id);
+            }
+            self.out.batch_sizes.push(b);
+            self.out.completed += b;
+            let end = start + svc;
+            self.out.makespan = self.out.makespan.max(end);
+            let slot = self
+                .worker_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            self.worker_free[slot] = end;
+            self.queue.drain(..b);
+        }
+    }
+}
+
+/// Replays `arrivals` (sorted virtual timestamps, request id = index)
+/// through the batcher/worker-pool model and returns the full outcome.
+pub fn simulate(model: &ServiceModel, arrivals: &[f64], cfg: &SimConfig) -> SimOutcome {
+    assert!(cfg.workers >= 1 && cfg.queue_capacity >= 1);
+    assert!(
+        arrivals.windows(2).all(|w| w[1] >= w[0]),
+        "arrival schedule must be sorted"
+    );
+    let mut st = SimState {
+        model,
+        policy: cfg.policy,
+        max_delay: cfg.policy.max_delay.as_secs_f64(),
+        queue: Vec::new(),
+        worker_free: vec![0.0; cfg.workers],
+        out: SimOutcome {
+            recorder: LatencyRecorder::new(),
+            completed: 0,
+            rejected: 0,
+            makespan: 0.0,
+            served_ids: Vec::new(),
+            rejected_ids: Vec::new(),
+            batch_sizes: Vec::new(),
+        },
+    };
+    for (id, &t) in arrivals.iter().enumerate() {
+        // Dispatch everything that happened before this arrival, then
+        // apply admission control against the *current* queue depth.
+        st.drain_until(t);
+        if st.queue.len() >= cfg.queue_capacity {
+            st.out.rejected += 1;
+            st.out.rejected_ids.push(id);
+        } else {
+            st.queue.push((id, t));
+        }
+    }
+    st.drain_until(f64::INFINITY);
+    st.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::PoissonArrivals;
+    use std::time::Duration;
+
+    fn dyn_cfg(max_batch: usize, delay_ms: u64) -> SimConfig {
+        SimConfig {
+            workers: 1,
+            queue_capacity: 256,
+            policy: BatchPolicy::dynamic(max_batch, Duration::from_millis(delay_ms)),
+        }
+    }
+
+    #[test]
+    fn hep_model_shows_the_batch_efficiency_cliff() {
+        let m = ServiceModel::hep();
+        let r1 = m.saturated_rate(1);
+        let r32 = m.saturated_rate(32);
+        assert!(
+            r32 >= 2.0 * r1,
+            "batch-32 rate {r32:.1}/s must be ≥2× batch-1 rate {r1:.1}/s"
+        );
+    }
+
+    #[test]
+    fn simulation_is_bit_deterministic() {
+        let m = ServiceModel::hep();
+        let arrivals: Vec<f64> = PoissonArrivals::new(7, 300.0, 400).collect();
+        let a = simulate(&m, &arrivals, &dyn_cfg(32, 10));
+        let b = simulate(&m, &arrivals, &dyn_cfg(32, 10));
+        assert_eq!(a.served_ids, b.served_ids);
+        assert_eq!(a.batch_sizes, b.batch_sizes);
+        assert_eq!(
+            a.recorder.total_summary().unwrap().p99.to_bits(),
+            b.recorder.total_summary().unwrap().p99.to_bits()
+        );
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    }
+
+    #[test]
+    fn light_load_batch1_has_no_queue_wait() {
+        let m = ServiceModel::hep();
+        // Arrivals far slower than batch-1 service: each request is
+        // served alone, immediately.
+        let arrivals: Vec<f64> = (0..20).map(|i| i as f64 * 1.0).collect();
+        let out = simulate(&m, &arrivals, &dyn_cfg(1, 0));
+        assert_eq!(out.completed, 20);
+        assert_eq!(out.rejected, 0);
+        assert!(out.batch_sizes.iter().all(|&b| b == 1));
+        let q = out.recorder.queue_summary().unwrap();
+        assert!(q.max < 1e-12, "idle server should start batches instantly, got {}", q.max);
+    }
+
+    #[test]
+    fn saturating_load_forms_full_batches() {
+        let m = ServiceModel::hep();
+        // Offer ~3× the batch-32 saturated rate: the queue stays deep and
+        // the vast majority of batches reach max_batch.
+        let rate = 3.0 * m.saturated_rate(32);
+        let arrivals: Vec<f64> = PoissonArrivals::new(11, rate, 600).collect();
+        let mut cfg = dyn_cfg(32, 10);
+        cfg.queue_capacity = 64;
+        let out = simulate(&m, &arrivals, &cfg);
+        assert!(out.rejected > 0, "overload must shed load");
+        let full = out.batch_sizes.iter().filter(|&&b| b == 32).count();
+        assert!(
+            full * 2 > out.batch_sizes.len(),
+            "most batches should be full: {full}/{}",
+            out.batch_sizes.len()
+        );
+        // Dynamic batching at saturation clears ≥2× what batch-1 can.
+        let out1 = simulate(&m, &arrivals, &{
+            let mut c = dyn_cfg(1, 0);
+            c.queue_capacity = 64;
+            c
+        });
+        assert!(out.throughput() >= 2.0 * out1.throughput());
+    }
+
+    #[test]
+    fn deadline_caps_queue_wait_when_pool_is_idle() {
+        let m = ServiceModel::hep();
+        // Two requests 1 ms apart, max_batch 32, 5 ms deadline: the
+        // batch fires at t0 + 5 ms with both aboard.
+        let arrivals = vec![0.0, 0.001];
+        let out = simulate(&m, &arrivals, &dyn_cfg(32, 5));
+        assert_eq!(out.batch_sizes, vec![2]);
+        let q = out.recorder.queue_summary().unwrap();
+        assert!((q.max - 0.005).abs() < 1e-12, "head waited {}", q.max);
+    }
+
+    #[test]
+    fn rejected_plus_served_partition_all_arrivals() {
+        let m = ServiceModel::hep();
+        let rate = 4.0 * m.saturated_rate(8);
+        let arrivals: Vec<f64> = PoissonArrivals::new(13, rate, 300).collect();
+        let mut cfg = dyn_cfg(8, 2);
+        cfg.queue_capacity = 16;
+        let out = simulate(&m, &arrivals, &cfg);
+        let mut all: Vec<usize> =
+            out.served_ids.iter().chain(&out.rejected_ids).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..arrivals.len()).collect::<Vec<_>>());
+        assert_eq!(out.completed + out.rejected, arrivals.len());
+        assert_eq!(out.recorder.len(), out.completed);
+    }
+
+    #[test]
+    fn multiple_workers_increase_throughput() {
+        let m = ServiceModel::hep();
+        let rate = 6.0 * m.saturated_rate(32);
+        let arrivals: Vec<f64> = PoissonArrivals::new(17, rate, 800).collect();
+        let mut one = dyn_cfg(32, 10);
+        one.queue_capacity = 512;
+        let mut two = one;
+        two.workers = 2;
+        let t1 = simulate(&m, &arrivals, &one).throughput();
+        let t2 = simulate(&m, &arrivals, &two).throughput();
+        assert!(t2 > 1.5 * t1, "2 workers: {t2:.0}/s vs 1 worker: {t1:.0}/s");
+    }
+}

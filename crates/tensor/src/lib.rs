@@ -34,6 +34,7 @@ pub mod im2col;
 pub mod ops;
 pub mod rng;
 pub mod shape;
+pub mod stats;
 pub mod tensor;
 
 pub use gemm::{gemm, gemm_bias, Transpose};
