@@ -61,6 +61,43 @@ fn bench_ring_allreduce(c: &mut Criterion) {
     group.finish();
 }
 
+/// The disabled-tracing fast path is one relaxed atomic load per
+/// instrumented call; this group makes the claim checkable by running the
+/// same ring all-reduce with no sink installed ("disabled" — the default
+/// everywhere else in this suite) and with a live sink ("enabled").
+fn bench_trace_overhead(c: &mut Criterion) {
+    fn ring_once(n: usize, len: usize) -> f32 {
+        let endpoints = RingFabric::new(n).into_endpoints();
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (tx, rx))| {
+                thread::spawn(move || {
+                    let mut data = vec![1.0f32; len];
+                    ring_allreduce_mean(rank, n, &mut data, &tx, &rx).unwrap();
+                    data[0]
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum::<f32>()
+    }
+
+    let mut group = c.benchmark_group("trace_overhead_ring");
+    group.sample_size(10);
+    let (n, len) = (4usize, 65_536usize);
+    group.bench_function("disabled", |b| {
+        assert!(!scidl_trace::is_enabled(), "no sink must be installed here");
+        b.iter(|| ring_once(n, len))
+    });
+    group.bench_function("enabled", |b| {
+        scidl_trace::install(std::sync::Arc::new(scidl_trace::TraceSink::new()));
+        scidl_trace::active().unwrap().begin_run("bench");
+        b.iter(|| ring_once(n, len));
+        scidl_trace::uninstall();
+    });
+    group.finish();
+}
+
 fn bench_ps_bank(c: &mut Criterion) {
     let mut group = c.benchmark_group("ps_bank_update");
     group.sample_size(10);
@@ -92,5 +129,11 @@ fn bench_ps_bank(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tree_allreduce, bench_ring_allreduce, bench_ps_bank);
+criterion_group!(
+    benches,
+    bench_tree_allreduce,
+    bench_ring_allreduce,
+    bench_trace_overhead,
+    bench_ps_bank
+);
 criterion_main!(benches);

@@ -7,10 +7,11 @@
 //! ≈1.66× faster than the best sync run; the worst sync run is many
 //! times slower.
 
-use scidl_bench::{ascii_chart, fnum, markdown_table};
+use scidl_bench::{ascii_chart, finish_trace, fnum, markdown_table, trace_from_args};
 use scidl_core::experiments::convergence::{fig8, Fig8Scale};
 
 fn main() {
+    let trace_path = trace_from_args();
     let fast = std::env::args().any(|a| a == "--fast");
     let scale = if fast {
         Fig8Scale {
@@ -67,4 +68,8 @@ fn main() {
         .map(|r| (r.label.as_str(), r.curve.points.as_slice()))
         .collect();
     println!("{}", ascii_chart(&series, 100, 24));
+
+    if let Some(path) = trace_path {
+        finish_trace(&path);
+    }
 }

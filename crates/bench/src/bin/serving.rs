@@ -17,7 +17,7 @@
 //! cargo run --release -p scidl-bench --bin serving [--smoke]
 //! ```
 
-use scidl_bench::{csv, fnum, markdown_table};
+use scidl_bench::{csv, finish_trace, fnum, markdown_table, trace_from_args};
 use scidl_serve::queue::BatchPolicy;
 use scidl_serve::sim::{simulate, ServiceModel, SimConfig};
 use scidl_serve::PoissonArrivals;
@@ -61,6 +61,7 @@ fn run_point(
 }
 
 fn main() {
+    let trace_path = trace_from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let n = if smoke { 400 } else { 2000 };
 
@@ -168,4 +169,8 @@ fn main() {
         "acceptance: dynamic batching must sustain ≥2× batch-1 at saturation, got {speedup:.2}×"
     );
     println!("  acceptance: ≥2× sustained throughput — PASS");
+
+    if let Some(path) = trace_path {
+        finish_trace(&path);
+    }
 }

@@ -27,6 +27,52 @@
 //! This library crate holds the small table/CSV formatting helpers the
 //! binaries share.
 
+/// Parses `--trace <out.json>` from `std::env::args()`. When the flag is
+/// present, installs a fresh global [`scidl_trace::TraceSink`] — so every
+/// instrumented layer (engines, comm, serving) starts recording — and
+/// returns the output path for [`finish_trace`].
+pub fn trace_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let path = args.next().expect("--trace requires an output path, e.g. --trace out.json");
+            scidl_trace::install(std::sync::Arc::new(scidl_trace::TraceSink::new()));
+            return Some(path.into());
+        }
+    }
+    None
+}
+
+/// Uninstalls the global trace sink and writes what it collected: Chrome
+/// `trace_event` JSON at `path` (load it at `chrome://tracing` or
+/// <https://ui.perfetto.dev>) plus the per-iteration CSV next to it
+/// (same stem, `.csv` extension). Health alerts, if any, go to stderr.
+pub fn finish_trace(path: &std::path::Path) {
+    let Some(sink) = scidl_trace::uninstall() else { return };
+    match sink.write_chrome_json(path) {
+        Ok(()) => println!("trace: {} events -> {}", sink.events().len(), path.display()),
+        Err(e) => println!("(could not write {}: {e})", path.display()),
+    }
+    let csv_path = path.with_extension("csv");
+    match sink.write_iteration_csv(&csv_path) {
+        Ok(()) => println!("trace: {} iteration rows -> {}", sink.rows().len(), csv_path.display()),
+        Err(e) => println!("(could not write {}: {e})", csv_path.display()),
+    }
+    if sink.dropped() > 0 {
+        eprintln!("trace: {} events dropped (sink at capacity)", sink.dropped());
+    }
+    for a in sink.health_alerts() {
+        eprintln!(
+            "trace: numeric-health alert: {}{}: {} non-finite value(s), first at [{}] = {}",
+            a.source,
+            a.layer.as_deref().map(|l| format!(" / layer {l}")).unwrap_or_default(),
+            a.count,
+            a.first_index,
+            a.value
+        );
+    }
+}
+
 /// Renders rows as a GitHub-flavoured markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let ncol = headers.len();

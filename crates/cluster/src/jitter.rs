@@ -214,7 +214,7 @@ mod tests {
         let mut rng = TensorRng::new(6);
         for _ in 0..100 {
             if let Some(t) = m.first_failure(&mut rng, 100, 50.0) {
-                assert!(t >= 0.0 && t < 50.0);
+                assert!((0.0..50.0).contains(&t));
             }
         }
     }

@@ -62,6 +62,10 @@ pub fn ring_allreduce_mean(
     if n <= 1 {
         return Ok(());
     }
+    // Attach to whichever trace run is in flight (one atomic load and
+    // no-op timestamps when tracing is off).
+    let tr = scidl_trace::TraceHandle::current();
+    let t0 = tr.now();
     let len = data.len();
     // Chunk boundaries: chunk c covers [starts[c], starts[c+1]).
     let starts: Vec<usize> = (0..=n).map(|c| c * len / n).collect();
@@ -97,6 +101,7 @@ pub fn ring_allreduce_mean(
         let incoming = recv_prev.recv().map_err(|_| gone())?;
         data[chunk(recv_c)].copy_from_slice(&incoming);
     }
+    tr.span(rank as u64, t0, scidl_trace::EventKind::Allreduce { elems: len as u64 });
     Ok(())
 }
 

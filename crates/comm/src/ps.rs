@@ -60,8 +60,21 @@ impl PsServer {
     /// the respawn path of the supervisor. Versions stay monotonic
     /// across the crash: the new incarnation continues counting from
     /// the snapshot, so staleness accounting survives a failover.
-    pub fn spawn_at(params: Vec<f32>, initial_version: u64, mut update: UpdateFn) -> Self {
+    pub fn spawn_at(params: Vec<f32>, initial_version: u64, update: UpdateFn) -> Self {
+        Self::spawn_shard(params, initial_version, u32::MAX, update)
+    }
+
+    /// [`PsServer::spawn_at`] with a shard label for tracing: server-side
+    /// update spans land on trace lane `shard` so per-layer PS service
+    /// time is attributable in the timeline. `u32::MAX` = unlabelled.
+    pub fn spawn_shard(
+        params: Vec<f32>,
+        initial_version: u64,
+        shard: u32,
+        mut update: UpdateFn,
+    ) -> Self {
         let param_len = params.len();
+        let track = if shard == u32::MAX { 0 } else { shard as u64 };
         let (tx, rx): (Sender<PsRequest>, Receiver<PsRequest>) = unbounded();
         let handle = std::thread::spawn(move || {
             let mut params = params;
@@ -76,8 +89,15 @@ impl PsServer {
                             // observes ChannelClosed — and keep serving.
                             continue;
                         }
+                        let tr = scidl_trace::TraceHandle::current();
+                        let t0 = tr.now();
                         update(&mut params, &grad);
                         version += 1;
+                        tr.span(
+                            track,
+                            t0,
+                            scidl_trace::EventKind::PsService { shard: shard as u64, version },
+                        );
                         // The requester may have gone away; ignore send
                         // failures (a dead group, Sec. VIII-A).
                         let _ = reply.send(PsReply { params: params.clone(), version });

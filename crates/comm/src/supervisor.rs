@@ -81,16 +81,30 @@ struct Inner {
 pub struct SupervisedPs {
     cfg: SupervisorConfig,
     make_update: UpdateFactory,
+    /// Trace label: which shard of the bank this is (`u32::MAX` =
+    /// unlabelled); respawn events and service spans land on this lane.
+    shard: u32,
     inner: Mutex<Inner>,
 }
 
 impl SupervisedPs {
     /// Spawns a supervised server owning `params`.
     pub fn spawn(params: Vec<f32>, make_update: UpdateFactory, cfg: SupervisorConfig) -> Self {
-        let server = PsServer::spawn(params.clone(), make_update());
+        Self::spawn_shard(params, make_update, cfg, u32::MAX)
+    }
+
+    /// [`SupervisedPs::spawn`] with a shard label for tracing.
+    pub fn spawn_shard(
+        params: Vec<f32>,
+        make_update: UpdateFactory,
+        cfg: SupervisorConfig,
+        shard: u32,
+    ) -> Self {
+        let server = PsServer::spawn_shard(params.clone(), 0, shard, make_update());
         Self {
             cfg,
             make_update,
+            shard,
             inner: Mutex::new(Inner {
                 server,
                 snapshot: params,
@@ -143,15 +157,19 @@ impl SupervisedPs {
         if inner.generation != observed_generation {
             return; // someone else already failed over
         }
-        let fresh = PsServer::spawn_at(
+        let fresh = PsServer::spawn_shard(
             inner.snapshot.clone(),
             inner.snapshot_version,
+            self.shard,
             (self.make_update)(),
         );
         // Never join the old thread — it may be hung forever.
         std::mem::replace(&mut inner.server, fresh).abandon();
         inner.generation += 1;
         inner.respawns += 1;
+        let track = if self.shard == u32::MAX { 0 } else { self.shard as u64 };
+        scidl_trace::TraceHandle::current()
+            .instant(track, scidl_trace::EventKind::PsRespawn { shard: self.shard as u64 });
     }
 
     /// One attempt: post under the lock (capturing the generation), wait
@@ -245,7 +263,8 @@ impl SupervisedPsBank {
         Self {
             servers: blocks
                 .into_iter()
-                .map(|(p, f)| SupervisedPs::spawn(p, f, cfg.clone()))
+                .enumerate()
+                .map(|(i, (p, f))| SupervisedPs::spawn_shard(p, f, cfg.clone(), i as u32))
                 .collect(),
         }
     }
@@ -256,7 +275,8 @@ impl SupervisedPsBank {
         Self {
             servers: blocks
                 .into_iter()
-                .map(|(p, f, cfg)| SupervisedPs::spawn(p, f, cfg))
+                .enumerate()
+                .map(|(i, (p, f, cfg))| SupervisedPs::spawn_shard(p, f, cfg, i as u32))
                 .collect(),
         }
     }

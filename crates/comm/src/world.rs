@@ -217,7 +217,7 @@ mod tests {
         });
         for r in &results {
             for (round, &v) in r.iter().enumerate() {
-                let expect = (0 + round) as f32 + 1.0; // mean of rank+round over ranks 0..3
+                let expect = round as f32 + 1.0; // mean of rank+round over ranks 0..3
                 assert_eq!(v, expect, "round {round}");
             }
         }

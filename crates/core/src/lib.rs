@@ -48,6 +48,8 @@
 //! assert!(run.mean_staleness > 0.0); // groups really interleave
 //! ```
 
+pub use scidl_trace as trace;
+
 pub mod checkpoint;
 pub mod experiments;
 pub mod faults;

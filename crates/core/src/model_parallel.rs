@@ -273,7 +273,7 @@ mod tests {
 
     #[test]
     fn shard_ranges_partition_features() {
-        let mut covered = vec![false; 12];
+        let mut covered = [false; 12];
         for rank in 0..4 {
             let l = ShardedDense::new("mp", 3, 12, rank, 4, 1);
             for i in l.shard_range() {

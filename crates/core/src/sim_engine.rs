@@ -157,6 +157,12 @@ impl SimEngine {
 
         // Central model (the PS bank's contents, flattened) + block map.
         let block_sizes: Vec<usize> = model.param_blocks().iter().map(|b| b.len()).collect();
+        // Tracing: spans carry *simulated* timestamps, so a seeded run
+        // emits a bit-identical trace; block names feed the health
+        // sentinel's layer attribution.
+        let tr = scidl_trace::TraceHandle::begin("sim-engine");
+        let block_names: Vec<String> =
+            model.param_blocks().iter().map(|b| b.name.clone()).collect();
         let mut central = model.flat_params();
         let mut solver = cfg.build_solver();
 
@@ -180,9 +186,13 @@ impl SimEngine {
         let mut per_group: Vec<LossCurve> = vec![LossCurve::new(); groups];
 
         let mut queue: EventQueue<(usize, usize)> = EventQueue::new();
+        // One outstanding iteration per group; its timing breakdown is
+        // kept so the span can be emitted when the event fires.
+        let mut pending: Vec<IterTiming> = Vec::with_capacity(groups);
         for (g, jrng) in jrngs.iter_mut().enumerate() {
-            let d = Self::group_duration(cfg, nodes_per_group, hybrid, &mut ps_free, 0.0, jrng);
-            queue.schedule(d, (g, 0));
+            let t = Self::group_duration(cfg, nodes_per_group, hybrid, &mut ps_free, 0.0, jrng);
+            queue.schedule(t.total, (g, 0));
+            pending.push(t);
         }
 
         let mut updates = 0usize;
@@ -198,10 +208,72 @@ impl SimEngine {
                 solver.step_block(idx, &mut central[off..off + len], &grad[off..off + len]);
                 off += len;
             }
-            staleness_sum += (updates_applied - group_seen[g]) as f64;
+            let stale = updates_applied - group_seen[g];
+            staleness_sum += stale as f64;
             updates_applied += 1;
             group_seen[g] = updates_applied;
             updates += 1;
+
+            if tr.enabled() {
+                let t = pending[g];
+                let start = now - t.total;
+                let (gu, iu) = (g as u64, iter as u64);
+                tr.event_at(gu, start, t.total, scidl_trace::EventKind::Iteration {
+                    group: gu,
+                    iter: iu,
+                });
+                tr.event_at(gu, start, t.compute, scidl_trace::EventKind::Compute {
+                    group: gu,
+                    iter: iu,
+                });
+                tr.event_at(
+                    gu,
+                    start + t.compute,
+                    t.allreduce,
+                    scidl_trace::EventKind::Allreduce { elems: cfg.timing.params },
+                );
+                if t.ps > 0.0 {
+                    tr.event_at(
+                        gu,
+                        start + t.compute + t.allreduce,
+                        t.ps,
+                        scidl_trace::EventKind::PsExchange { group: gu, staleness: stale },
+                    );
+                }
+                if !loss.is_finite() {
+                    tr.health(scidl_trace::HealthAlert {
+                        source: "loss",
+                        layer: None,
+                        first_index: 0,
+                        count: 1,
+                        value: loss,
+                        iter: Some(iu),
+                    });
+                }
+                if let Some(alert) = scidl_trace::scan_blocks(
+                    "gradient",
+                    &grad,
+                    &block_sizes,
+                    &block_names,
+                    Some(iu),
+                ) {
+                    tr.health(alert);
+                }
+                tr.row(scidl_trace::IterRow {
+                    run: 0, // filled in by the handle
+                    kind: "train",
+                    track: gu,
+                    iter: iu,
+                    start_s: start,
+                    compute_s: t.compute,
+                    comm_s: t.allreduce,
+                    ps_s: t.ps,
+                    queue_s: 0.0,
+                    staleness: stale,
+                    loss: loss as f64,
+                    batch: cfg.batch_per_group as u64,
+                });
+            }
 
             curve.push(now, loss);
             per_group[g].push(now, loss);
@@ -210,8 +282,9 @@ impl SimEngine {
             // next iteration.
             group_params[g].copy_from_slice(&central);
             if iter + 1 < cfg.iterations {
-                let d = Self::group_duration(cfg, nodes_per_group, hybrid, &mut ps_free, now, &mut jrngs[g]);
-                queue.schedule(now + d, (g, iter + 1));
+                let t = Self::group_duration(cfg, nodes_per_group, hybrid, &mut ps_free, now, &mut jrngs[g]);
+                queue.schedule(now + t.total, (g, iter + 1));
+                pending[g] = t;
             }
         }
 
@@ -228,7 +301,8 @@ impl SimEngine {
 
     /// Simulated duration of one group iteration starting at `now`:
     /// compute (with barrier jitter) + intra-group all-reduce
-    /// (+ PS fork-join with queueing when hybrid).
+    /// (+ PS fork-join with queueing when hybrid). Returned as a
+    /// breakdown so the trace can attribute the time.
     fn group_duration(
         cfg: &SimEngineConfig,
         nodes_per_group: usize,
@@ -236,7 +310,7 @@ impl SimEngine {
         ps_free: &mut [f64],
         now: f64,
         rng: &mut TensorRng,
-    ) -> f64 {
+    ) -> IterTiming {
         let b = (cfg.batch_per_group / nodes_per_group).max(1);
         let mut compute = cfg.timing.node_iteration_time(&cfg.knl, b);
         if hybrid {
@@ -245,7 +319,8 @@ impl SimEngine {
         let barrier = cfg.jitter.barrier_multiplier(rng, nodes_per_group);
         let delay = cfg.jitter.barrier_delay(rng, nodes_per_group);
         let allreduce = cfg.net.allreduce_time(nodes_per_group, cfg.timing.model_bytes);
-        let mut dur = compute * barrier + delay + allreduce;
+        let compute_part = compute * barrier + delay;
+        let mut dur = compute_part + allreduce;
         if hybrid {
             let arrive = now + dur;
             let num_ps = ps_free.len();
@@ -263,8 +338,24 @@ impl SimEngine {
             resume += cfg.net.broadcast_time(nodes_per_group, cfg.timing.model_bytes);
             dur = resume - now;
         }
-        dur
+        IterTiming {
+            compute: compute_part,
+            allreduce,
+            ps: dur - compute_part - allreduce,
+            total: dur,
+        }
     }
+}
+
+/// Component breakdown of one simulated group iteration. `ps` covers the
+/// PS fork-join (queueing included) plus the model broadcast; 0 when
+/// synchronous.
+#[derive(Clone, Copy, Debug)]
+struct IterTiming {
+    compute: f64,
+    allreduce: f64,
+    ps: f64,
+    total: f64,
 }
 
 #[cfg(test)]

@@ -177,6 +177,12 @@ impl ThreadEngine {
         // Template model defines the block structure and initial params.
         let template = build(cfg.seed);
         let block_sizes: Vec<usize> = template.param_blocks().iter().map(|b| b.len()).collect();
+        // Block names feed the health sentinel's first-offender layer
+        // attribution; the trace handle is a no-op when no sink is
+        // installed.
+        let block_names: Arc<Vec<String>> =
+            Arc::new(template.param_blocks().iter().map(|b| b.name.clone()).collect());
+        let tr = scidl_trace::TraceHandle::begin("thread-engine");
 
         // Supervised per-layer PS bank: each shard has its own solver
         // state and is respawned from a snapshot if it dies. The factory
@@ -230,6 +236,8 @@ impl ThreadEngine {
                     let bank = Arc::clone(&bank);
                     let shared = Arc::clone(&shared);
                     let block_sizes = block_sizes.clone();
+                    let block_names = Arc::clone(&block_names);
+                    let tr = tr.clone();
                     let build = &build;
                     let grad = &grad;
                     scope.spawn(move || {
@@ -242,6 +250,8 @@ impl ThreadEngine {
                             bank,
                             shared,
                             block_sizes,
+                            block_names,
+                            tr,
                             t0,
                             build,
                             grad,
@@ -291,6 +301,8 @@ fn worker<M, B, G>(
     bank: Arc<SupervisedPsBank>,
     shared: Arc<Shared>,
     block_sizes: Vec<usize>,
+    block_names: Arc<Vec<String>>,
+    tr: scidl_trace::TraceHandle,
     t0: Instant,
     build: &B,
     grad: &G,
@@ -362,30 +374,87 @@ fn worker<M, B, G>(
             }
         }
         let iter_start = Instant::now();
+        // All spans land on lane `group`, emitted by the group root only
+        // so the timeline has one lane per group.
+        let iter_t = tr.now();
         model.set_flat_params(&flat);
         let indices = sampler.next_batch();
         let (loss, mut grads) = grad(&mut model, &indices);
+        let compute_s = tr.now() - iter_t;
+        if rank == 0 {
+            tr.span(
+                group as u64,
+                iter_t,
+                scidl_trace::EventKind::Compute { group: group as u64, iter: iter as u64 },
+            );
+        }
 
         // Scheduled straggler: stretch this group's compute phase by the
         // plan's factor (the all-reduce barrier spreads the slowdown to
         // the whole group, as a slow node does).
         let factor = cfg.faults.straggler_factor(group, iter);
         if factor > 1.0 {
+            let straggle_t = tr.now();
             let spent = iter_start.elapsed();
             std::thread::sleep(spent.mul_f64(factor - 1.0));
+            if rank == 0 {
+                tr.span(
+                    group as u64,
+                    straggle_t,
+                    scidl_trace::EventKind::Straggler { group: group as u64, factor },
+                );
+            }
         }
 
         // Intra-group synchronous step: average gradients and loss.
+        let ar_t = tr.now();
         comm.allreduce_mean(&mut grads);
         let mut lbuf = [loss];
         comm.allreduce_mean(&mut lbuf);
         let group_loss = lbuf[0];
+        let mut comm_s = tr.now() - ar_t;
+        if rank == 0 {
+            tr.span(
+                group as u64,
+                ar_t,
+                scidl_trace::EventKind::Allreduce { elems: grads.len() as u64 + 1 },
+            );
+            // Numeric-health sentinel: a non-finite loss or gradient
+            // (from any node — the mean propagates it) is caught here
+            // and the first offender attributed to its parameter block.
+            if tr.enabled() {
+                if !group_loss.is_finite() {
+                    tr.health(scidl_trace::HealthAlert {
+                        source: "loss",
+                        layer: None,
+                        first_index: 0,
+                        count: 1,
+                        value: group_loss,
+                        iter: Some(iter as u64),
+                    });
+                }
+                if let Some(alert) = scidl_trace::scan_blocks(
+                    "gradient",
+                    &grads,
+                    &block_sizes,
+                    &block_names,
+                    Some(iter as u64),
+                ) {
+                    tr.health(alert);
+                }
+            }
+        }
 
         // One status word per iteration keeps the group's fate shared:
         // if the root's PS exchange fails terminally, every worker of the
         // group returns together instead of deadlocking in a broadcast.
         let mut status = [1.0f32];
+        let mut ps_s = 0.0f64;
+        let mut row_stale = 0u64;
         if rank == 0 {
+            // PS-exchange span includes the injected network delay: both
+            // model the time the root spends away from compute.
+            let ps_t = tr.now();
             // Scheduled network delay in front of the exchange.
             let delay = cfg.faults.message_delay_secs(group, iter);
             if delay > 0.0 {
@@ -406,6 +475,16 @@ fn worker<M, B, G>(
                     let v = replies[0].version;
                     let stale = v.saturating_sub(last_version + 1);
                     last_version = v;
+                    ps_s = tr.now() - ps_t;
+                    row_stale = stale;
+                    tr.span(
+                        group as u64,
+                        ps_t,
+                        scidl_trace::EventKind::PsExchange {
+                            group: group as u64,
+                            staleness: stale,
+                        },
+                    );
                     {
                         let mut s = shared.staleness.lock();
                         s.0 += stale as f64;
@@ -431,6 +510,7 @@ fn worker<M, B, G>(
                         && (iter + 1) % cfg.checkpoint_every == 0
                     {
                         if let Some(path) = &cfg.checkpoint_path {
+                            let ck_t = tr.now();
                             let ck = Checkpoint {
                                 iteration: (iter + 1) as u64,
                                 seed: cfg.seed,
@@ -439,6 +519,14 @@ fn worker<M, B, G>(
                             if ck.save(path).is_ok() {
                                 shared.fault_stats.lock().1 += 1;
                             }
+                            tr.span(
+                                group as u64,
+                                ck_t,
+                                scidl_trace::EventKind::Checkpoint {
+                                    iter: (iter + 1) as u64,
+                                    bytes: (flat.len() * 4) as u64,
+                                },
+                            );
                         }
                     }
                 }
@@ -449,13 +537,36 @@ fn worker<M, B, G>(
                 }
             }
         }
+        let bc_t = tr.now();
         comm.broadcast(0, &mut status);
         if status[0] < 0.5 {
             return;
         }
         // Root broadcasts the fresh model to its group.
         comm.broadcast(0, &mut flat);
+        comm_s += tr.now() - bc_t;
         last_iter_secs = iter_start.elapsed().as_secs_f64().max(1e-6);
+        if rank == 0 {
+            tr.span(
+                group as u64,
+                iter_t,
+                scidl_trace::EventKind::Iteration { group: group as u64, iter: iter as u64 },
+            );
+            tr.row(scidl_trace::IterRow {
+                run: 0, // filled in by the handle
+                kind: "train",
+                track: group as u64,
+                iter: iter as u64,
+                start_s: iter_t,
+                compute_s,
+                comm_s,
+                ps_s,
+                queue_s: 0.0,
+                staleness: row_stale,
+                loss: group_loss as f64,
+                batch: cfg.batch_per_group as u64,
+            });
+        }
     }
 }
 

@@ -582,10 +582,10 @@ mod tests {
         assert_eq!(ds.len(), 18);
         // Rotations are exact rolls: per-event total energy preserved.
         for copy in 0..2 {
-            for i in 0..6 {
+            for (i, &base) in base_energy.iter().enumerate() {
                 let j = 6 + copy * 6 + i;
                 let e: f32 = ds.images.item(j).iter().sum();
-                assert!((e - base_energy[i]).abs() < 1e-3, "event {j}");
+                assert!((e - base).abs() < 1e-3, "event {j}");
                 assert_eq!(ds.labels[j], ds.labels[i]);
                 assert_eq!(ds.features[j].ht, ds.features[i].ht);
             }

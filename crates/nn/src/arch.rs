@@ -427,9 +427,9 @@ mod tests {
         let n = 8;
         let mut x = Tensor::zeros(Shape4::new(n, 3, 32, 32));
         let mut labels = vec![0usize; n];
-        for i in 0..n {
+        for (i, label) in labels.iter_mut().enumerate().take(n) {
             let v = if i % 2 == 0 { 1.0 } else { -1.0 };
-            labels[i] = (i % 2) as usize;
+            *label = i % 2;
             x.item_mut(i).iter_mut().for_each(|p| *p = v);
         }
         let mut solver = Adam::new(1e-2);

@@ -375,10 +375,10 @@ mod tests {
         let os = geo.out_shape(is.n);
         let mut out = Tensor::zeros(os);
         for n in 0..is.n {
-            for co in 0..cout {
+            for (co, &bias) in b.iter().enumerate().take(cout) {
                 for oy in 0..os.h {
                     for ox in 0..os.w {
-                        let mut acc = b[co];
+                        let mut acc = bias;
                         for ci in 0..is.c {
                             for ky in 0..k {
                                 for kx in 0..k {

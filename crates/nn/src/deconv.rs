@@ -247,10 +247,10 @@ mod tests {
         let ow = (is.w - 1) * stride + k - 2 * pad;
         let mut out = Tensor::zeros(Shape4::new(is.n, cout, oh, ow));
         for n in 0..is.n {
-            for co in 0..cout {
+            for (co, &bias) in b.iter().enumerate().take(cout) {
                 for y in 0..oh {
                     for x in 0..ow {
-                        *out.at_mut(n, co, y, x) = b[co];
+                        *out.at_mut(n, co, y, x) = bias;
                     }
                 }
             }

@@ -448,8 +448,8 @@ mod tests {
     fn detection_targets_bookkeeping() {
         let t = tiny_targets();
         assert_eq!(t.positives(), 1);
-        assert_eq!(t.conf[1 * 3 + 2], 1.0);
-        assert_eq!(t.class[1 * 3 + 2], 1);
+        assert_eq!(t.conf[3 + 2], 1.0);
+        assert_eq!(t.class[3 + 2], 1);
         // bbox planar layout: x plane then y plane then w then h.
         let cells = 9;
         assert_eq!(t.bbox[cells + 5], 0.25); // y plane, cell (1,2)=idx5

@@ -355,22 +355,22 @@ mod tests {
             let mut sums = vec![0.0f32; n];
             let mut data: Vec<Vec<f32>> = vec![vec![0.0; n]; t];
             for bi in 0..n {
-                for ti in 0..t {
+                for row in data.iter_mut() {
                     let v: f32 = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
-                    data[ti][bi] = v;
+                    row[bi] = v;
                     sums[bi] += v;
                 }
             }
-            for ti in 0..t {
-                xs.push(Tensor::from_vec(Shape4::new(n, 1, 1, 1), data[ti].clone()));
+            for row in &data {
+                xs.push(Tensor::from_vec(Shape4::new(n, 1, 1, 1), row.clone()));
             }
             let hs = lstm.forward(&xs);
             // Squared-error on unit 0 of the last hidden state vs sign.
             let last = &hs[t - 1];
             let mut loss = 0.0f32;
             let mut dh_last = Tensor::zeros(last.shape());
-            for bi in 0..n {
-                let target = if sums[bi] > 0.0 { 0.5 } else { -0.5 };
+            for (bi, &s) in sums.iter().enumerate().take(n) {
+                let target = if s > 0.0 { 0.5 } else { -0.5 };
                 let pred = last.data()[bi * 8];
                 let d = pred - target;
                 loss += d * d / n as f32;

@@ -196,8 +196,8 @@ mod tests {
         let n = 8;
         let mut x = Tensor::zeros(Shape4::new(n, 3, 32, 32));
         let mut labels = vec![0usize; n];
-        for i in 0..n {
-            labels[i] = i % 2;
+        for (i, label) in labels.iter_mut().enumerate().take(n) {
+            *label = i % 2;
             let v = if i % 2 == 0 { 0.8 } else { -0.8 };
             x.item_mut(i).iter_mut().for_each(|p| *p = v);
         }

@@ -240,8 +240,8 @@ mod tests {
         let n = 8;
         let mut x = Tensor::zeros(Shape4::new(n, 1, 16, 16));
         let mut labels = vec![0usize; n];
-        for i in 0..n {
-            labels[i] = i % 2;
+        for (i, label) in labels.iter_mut().enumerate().take(n) {
+            *label = i % 2;
             let v = if i % 2 == 0 { 1.0 } else { -1.0 };
             x.item_mut(i).iter_mut().for_each(|p| *p = v);
         }
@@ -267,7 +267,7 @@ mod tests {
         let res = Residual::projected("r", inner, 4, 8, 2, &mut rng);
         let s = Shape4::new(1, 4, 8, 8);
         let inner_only = 2 * (8 * 4 * 9 * 16) as u64;
-        let proj = 2 * (8 * 4 * 1 * 16) as u64;
+        let proj = 2 * ((8 * 4) * 16) as u64;
         let add = (8 * 4 * 4) as u64;
         assert_eq!(res.forward_flops_per_image(s), inner_only + proj + add);
     }

@@ -89,7 +89,12 @@ impl<T> BatchQueue<T> {
         }
         g.items.push_back(Pending { item, arrived: Instant::now() });
         drop(g);
-        self.notify.notify_all();
+        // One item can satisfy one consumer: `notify_one` avoids a
+        // thundering herd of the whole worker pool per submit. Waiters
+        // re-evaluate in `pop_batch`'s loop (and park with a deadline),
+        // so an absorbed wake cannot strand a request; `close` still
+        // uses `notify_all` so every consumer observes end-of-stream.
+        self.notify.notify_one();
         Ok(())
     }
 
@@ -228,6 +233,50 @@ mod tests {
         q.submit(42).unwrap();
         let batch = consumer.join().unwrap().unwrap();
         assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn multi_consumer_exactly_once_fifo() {
+        // Four consumers race on one queue while a producer trickles in
+        // requests; with `notify_one` in `submit` every request must
+        // still be dispatched exactly once, each batch internally FIFO,
+        // and all consumers must terminate once the queue closes.
+        const N: usize = 400;
+        const CONSUMERS: usize = 4;
+        let q = Arc::new(BatchQueue::new(N));
+        let policy = BatchPolicy::dynamic(8, Duration::from_millis(2));
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let qc = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut batches: Vec<Vec<usize>> = Vec::new();
+                    while let Some(batch) = qc.pop_batch(&policy) {
+                        batches.push(batch.into_iter().map(|(i, _)| i).collect());
+                    }
+                    batches
+                })
+            })
+            .collect();
+        for i in 0..N {
+            q.submit(i).unwrap();
+            if i % 16 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        q.close();
+        let mut all: Vec<usize> = Vec::new();
+        for c in consumers {
+            for batch in c.join().unwrap() {
+                assert!(
+                    batch.windows(2).all(|w| w[0] < w[1]),
+                    "batch must preserve FIFO order: {batch:?}"
+                );
+                all.extend(batch);
+            }
+        }
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..N).collect();
+        assert_eq!(all, expect, "every request exactly once, none lost to a missed wakeup");
     }
 
     #[test]

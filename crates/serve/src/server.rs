@@ -130,11 +130,11 @@ impl Server {
         assert!(cfg.workers >= 1, "need at least one worker");
         let queue = Arc::new(BatchQueue::new(cfg.queue_capacity));
         let workers = (0..cfg.workers)
-            .map(|_| {
+            .map(|worker| {
                 let queue = Arc::clone(&queue);
                 let registry = Arc::clone(&registry);
                 let policy = cfg.policy;
-                std::thread::spawn(move || worker_loop(&queue, &registry, &policy))
+                std::thread::spawn(move || worker_loop(worker, &queue, &registry, &policy))
             })
             .collect();
         Self { queue, workers }
@@ -163,12 +163,17 @@ impl Server {
 }
 
 fn worker_loop(
+    worker: usize,
     queue: &BatchQueue<ServeRequest>,
     registry: &ModelRegistry,
     policy: &BatchPolicy,
 ) -> LatencyRecorder {
     let mut scratch = InferScratch::new();
     let mut recorder = LatencyRecorder::new();
+    // Attach to whichever trace run the embedding process started; each
+    // worker gets its own lane, each dispatched batch one span + row.
+    let tr = scidl_trace::TraceHandle::current();
+    let mut batch_idx = 0u64;
     while let Some(batch) = queue.pop_batch(policy) {
         let model = registry.current();
         let b = batch.len();
@@ -182,9 +187,40 @@ fn worker_loop(
             );
             x.item_mut(i).copy_from_slice(req.input.item(0));
         }
+        let span_t = tr.now();
         let t0 = Instant::now();
         let y = model.network.infer_with(&x, &mut scratch);
         let compute = t0.elapsed();
+        if tr.enabled() {
+            // The head request waited longest; report its wait as the
+            // batch's queue component.
+            let queue_s = batch
+                .iter()
+                .map(|(_, w)| w.as_secs_f64())
+                .fold(0.0f64, f64::max);
+            let wu = worker as u64;
+            tr.span(wu, span_t, scidl_trace::EventKind::BatchDispatch {
+                worker: wu,
+                batch: b as u64,
+                queue_s,
+                compute_s: compute.as_secs_f64(),
+            });
+            tr.row(scidl_trace::IterRow {
+                run: 0,
+                kind: "serve",
+                track: wu,
+                iter: batch_idx,
+                start_s: span_t,
+                compute_s: compute.as_secs_f64(),
+                comm_s: 0.0,
+                ps_s: 0.0,
+                queue_s,
+                staleness: 0,
+                loss: 0.0,
+                batch: b as u64,
+            });
+        }
+        batch_idx += 1;
         for (i, (req, queue_wait)) in batch.into_iter().enumerate() {
             recorder.push(queue_wait.as_secs_f64(), compute.as_secs_f64());
             // A client that dropped its receiver just loses the answer.

@@ -136,6 +136,7 @@ struct SimState<'a> {
     max_delay: f64,
     queue: Vec<(usize, f64)>,
     worker_free: Vec<f64>,
+    tr: scidl_trace::TraceHandle,
     out: SimOutcome,
 }
 
@@ -165,6 +166,39 @@ impl SimState<'_> {
             let eligible = self.queue.iter().take_while(|&&(_, a)| a <= start).count();
             let b = eligible.min(self.policy.max_batch);
             let svc = self.model.batch_secs(b);
+            let slot = self
+                .worker_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            if self.tr.enabled() {
+                // Virtual timestamps: the trace of a seeded schedule is
+                // bit-identical run to run.
+                let (wu, bu) = (slot as u64, self.out.batch_sizes.len() as u64);
+                let queue_s = start - self.queue[0].1;
+                self.tr.event_at(wu, start, svc, scidl_trace::EventKind::BatchDispatch {
+                    worker: wu,
+                    batch: b as u64,
+                    queue_s,
+                    compute_s: svc,
+                });
+                self.tr.row(scidl_trace::IterRow {
+                    run: 0,
+                    kind: "serve",
+                    track: wu,
+                    iter: bu,
+                    start_s: start,
+                    compute_s: svc,
+                    comm_s: 0.0,
+                    ps_s: 0.0,
+                    queue_s,
+                    staleness: 0,
+                    loss: 0.0,
+                    batch: b as u64,
+                });
+            }
             for &(id, arrived) in &self.queue[..b] {
                 self.out.recorder.push(start - arrived, svc);
                 self.out.served_ids.push(id);
@@ -173,13 +207,6 @@ impl SimState<'_> {
             self.out.completed += b;
             let end = start + svc;
             self.out.makespan = self.out.makespan.max(end);
-            let slot = self
-                .worker_free
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(i, _)| i)
-                .unwrap();
             self.worker_free[slot] = end;
             self.queue.drain(..b);
         }
@@ -200,6 +227,7 @@ pub fn simulate(model: &ServiceModel, arrivals: &[f64], cfg: &SimConfig) -> SimO
         max_delay: cfg.policy.max_delay.as_secs_f64(),
         queue: Vec::new(),
         worker_free: vec![0.0; cfg.workers],
+        tr: scidl_trace::TraceHandle::begin("serve-sim"),
         out: SimOutcome {
             recorder: LatencyRecorder::new(),
             completed: 0,

@@ -116,10 +116,10 @@ fn block_kernel(
                     let arow = &a[(i0 + i) * k..(i0 + i) * k + k];
                     let crow = &mut c_blk[i * n..(i + 1) * n];
                     for p in p0..pend {
+                        // No zero-skip here: 0·NaN must stay NaN, matching
+                        // gemm_ref. Skipping `av == 0.0` would silently mask
+                        // non-finite values in B.
                         let av = alpha * arow[p];
-                        if av == 0.0 {
-                            continue;
-                        }
                         let brow = &b[p * n..p * n + n];
                         for (cv, &bv) in crow.iter_mut().zip(brow) {
                             *cv += av * bv;
@@ -149,10 +149,8 @@ fn block_kernel(
                 let arow = &a[p * m..p * m + m];
                 let brow = &b[p * n..p * n + n];
                 for i in 0..rows {
+                    // As in the NN kernel: no zero-skip, 0·NaN must be NaN.
                     let av = alpha * arow[i0 + i];
-                    if av == 0.0 {
-                        continue;
-                    }
                     let crow = &mut c_blk[i * n..(i + 1) * n];
                     for (cv, &bv) in crow.iter_mut().zip(brow) {
                         *cv += av * bv;
@@ -336,5 +334,86 @@ mod tests {
     fn rejects_short_a() {
         let mut c = vec![0.0; 4];
         gemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0, &[1.0; 3], &[1.0; 4], 0.0, &mut c);
+    }
+
+    /// NaN-aware comparison against the reference: got must be NaN iff
+    /// the reference is NaN, match the sign of infinities, and be close
+    /// otherwise.
+    fn check_nonfinite(ta: Transpose, tb: Transpose, m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) {
+        let mut c = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        gemm(ta, tb, m, n, k, 1.0, a, b, 0.0, &mut c);
+        gemm_ref(ta, tb, m, n, k, 1.0, a, b, 0.0, &mut c_ref);
+        for (idx, (&x, &y)) in c.iter().zip(&c_ref).enumerate() {
+            if y.is_nan() {
+                assert!(x.is_nan(), "{ta:?}{tb:?} c[{idx}]: expected NaN, got {x}");
+            } else if y.is_infinite() {
+                assert_eq!(x, y, "{ta:?}{tb:?} c[{idx}]: expected {y}, got {x}");
+            } else {
+                assert!((x - y).abs() < 1e-3, "{ta:?}{tb:?} c[{idx}]: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_times_nan_propagates_all_transposes() {
+        // op(A)[0, 1] = 0 and op(B)[1, 2] = NaN: the 0·NaN product must
+        // poison C[0, 2]. The old zero-skip in the NN/TN kernels masked
+        // exactly this.
+        let (m, n, k) = (3, 4, 5);
+        for ta in [Transpose::No, Transpose::Yes] {
+            for tb in [Transpose::No, Transpose::Yes] {
+                let mut a = fill(m * k, 4);
+                let mut b = fill(k * n, 5);
+                match ta {
+                    Transpose::No => a[1] = 0.0,          // op(A)[0, 1]
+                    Transpose::Yes => a[m] = 0.0,         // A[1, 0] → op(A)[0, 1]
+                }
+                match tb {
+                    Transpose::No => b[n + 2] = f32::NAN, // B[1, 2] → op(B)[1, 2]
+                    Transpose::Yes => b[2 * k + 1] = f32::NAN, // B[2, 1] → op(B)[1, 2]
+                }
+                let mut c = vec![0.0f32; m * n];
+                gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+                assert!(c[2].is_nan(), "{ta:?}{tb:?}: 0·NaN was masked, c[0,2] = {}", c[2]);
+                check_nonfinite(ta, tb, m, n, k, &a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn inf_and_nan_mixtures_match_reference() {
+        // Scatter zeros, NaN and ±Inf through both operands (including
+        // an Inf−Inf cancellation producing NaN) and compare NaN-aware
+        // against the reference for every transpose pair.
+        let (m, n, k) = (4, 5, 6);
+        for ta in [Transpose::No, Transpose::Yes] {
+            for tb in [Transpose::No, Transpose::Yes] {
+                let mut a = fill(m * k, 6);
+                let mut b = fill(k * n, 7);
+                a[0] = 0.0;
+                a[3] = f32::INFINITY;
+                a[7] = f32::NEG_INFINITY;
+                b[2] = f32::NAN;
+                b[5] = f32::INFINITY;
+                b[11] = 0.0;
+                check_nonfinite(ta, tb, m, n, k, &a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn nonfinite_survives_blocked_parallel_path() {
+        // Large enough to cross the MC row-blocking and the parallel
+        // work threshold; one zero-masked NaN deep in the k range.
+        let (m, n, k) = (130, 70, 33);
+        let mut a = fill(m * k, 8);
+        let mut b = fill(k * n, 9);
+        a[129 * k + 20] = 0.0; // op(A)[129, 20] (last ragged block)
+        b[20 * n + 69] = f32::NAN; // op(B)[20, 69]
+        let mut c = vec![0.0f32; m * n];
+        gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c[129 * n + 69].is_nan());
+        check_nonfinite(Transpose::No, Transpose::No, m, n, k, &a, &b);
     }
 }

@@ -73,7 +73,17 @@ pub fn slice_dot(a: &[f32], b: &[f32]) -> f64 {
 /// scale)` with `f32 ≈ i8 as f32 * scale`. The shared wire codec used by
 /// both the low-precision training utilities (`scidl-nn::quant`) and the
 /// compressed all-reduce (`scidl-comm::compress`).
+///
+/// Non-finite input is *surfaced*, not laundered: a NaN would otherwise
+/// saturating-cast to 0 and silently vanish from the compressed
+/// all-reduce. When any element is NaN/±Inf the returned scale is NaN
+/// (so `dequantize_i8` poisons the whole buffer instead of zeroing it)
+/// and the numeric-health sentinel is notified.
 pub fn quantize_i8(data: &[f32]) -> (Vec<i8>, f32) {
+    if let Some((first, count, value)) = scidl_trace::scan_nonfinite(data) {
+        scidl_trace::nonfinite_hook("quantize_i8", first, count, value);
+        return (vec![0; data.len()], f32::NAN);
+    }
     let max = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
     let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
     let values = data
@@ -94,8 +104,20 @@ pub fn dequantize_i8(values: &[i8], scale: f32, out: &mut [f32]) {
 /// Clips every element of `g` so the slice's L2 norm is at most
 /// `max_norm`; returns the pre-clip norm. A no-op when already within
 /// bounds or when `max_norm` is non-positive.
+///
+/// A poisoned gradient yields a non-finite norm, which `norm > max_norm`
+/// can never clip (`NaN > x` is false) — instead of silently returning
+/// it, the non-finite norm is reported to the numeric-health sentinel
+/// and `g` is left untouched for inspection. Callers should treat a
+/// non-finite return as "this gradient is corrupt", not "large".
 pub fn clip_norm(g: &mut [f32], max_norm: f64) -> f64 {
     let norm: f64 = g.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt();
+    if !norm.is_finite() {
+        let (first, count, value) =
+            scidl_trace::scan_nonfinite(g).unwrap_or((0, 0, norm as f32));
+        scidl_trace::nonfinite_hook("clip_norm", first, count, value);
+        return norm;
+    }
     if max_norm > 0.0 && norm > max_norm {
         let s = (max_norm / norm) as f32;
         slice_scale(g, s);
@@ -204,5 +226,47 @@ mod tests {
         let (q, scale) = quantize_i8(&[0.0; 5]);
         assert!(q.iter().all(|&v| v == 0));
         assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn quantize_i8_surfaces_nan_instead_of_laundering() {
+        // A NaN used to saturating-cast to 0 and vanish from the wire;
+        // now the scale itself is poisoned so dequantize propagates it.
+        let (q, scale) = quantize_i8(&[1.0, f32::NAN, 2.0]);
+        assert!(scale.is_nan(), "scale must signal corruption");
+        let mut back = vec![0.0; 3];
+        dequantize_i8(&q, scale, &mut back);
+        assert!(
+            back.iter().all(|x| x.is_nan()),
+            "corruption must propagate through the codec, got {back:?}"
+        );
+    }
+
+    #[test]
+    fn quantize_i8_surfaces_inf() {
+        let (_, scale) = quantize_i8(&[f32::INFINITY, 1.0]);
+        assert!(scale.is_nan());
+        let (_, scale) = quantize_i8(&[f32::NEG_INFINITY]);
+        assert!(scale.is_nan());
+    }
+
+    #[test]
+    fn clip_norm_reports_poisoned_gradient() {
+        // NaN norm: `norm > max_norm` is false for NaN, so the old code
+        // silently skipped clipping and returned NaN with no signal.
+        let mut g = vec![3.0, f32::NAN, 4.0];
+        let norm = clip_norm(&mut g, 1.0);
+        assert!(norm.is_nan(), "poisoned gradient must report a NaN norm");
+        assert_eq!(g[0], 3.0, "poisoned gradient left untouched for inspection");
+        assert!(g[1].is_nan());
+        assert_eq!(g[2], 4.0);
+    }
+
+    #[test]
+    fn clip_norm_inf_norm_not_scaled() {
+        let mut g = vec![f32::INFINITY, 1.0];
+        let norm = clip_norm(&mut g, 1.0);
+        assert!(norm.is_infinite() && norm > 0.0);
+        assert_eq!(g[1], 1.0);
     }
 }

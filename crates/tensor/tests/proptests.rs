@@ -70,6 +70,50 @@ proptest! {
     }
 
     #[test]
+    fn gemm_nonfinite_matches_reference(
+        m in 1usize..12,
+        n in 1usize..12,
+        k in 1usize..10,
+        seed in any::<u64>(),
+        ta_flag in any::<bool>(),
+        tb_flag in any::<bool>(),
+    ) {
+        // IEEE-754 edge-case palette: zeros must not mask NaN/Inf in the
+        // other operand (0·NaN = NaN, 0·Inf = NaN), infinities must keep
+        // their sign, and Inf − Inf must cancel to NaN — exactly as the
+        // f64 reference computes. Finite values stay small so f32 vs f64
+        // accumulation cannot overflow apart.
+        let ta = if ta_flag { Transpose::Yes } else { Transpose::No };
+        let tb = if tb_flag { Transpose::Yes } else { Transpose::No };
+        let palette = [
+            0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY,
+            1.0, -1.0, 0.5, -2.0, 1.5,
+        ];
+        let mut s = seed | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            palette[(s % palette.len() as u64) as usize]
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let mut c = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+        gemm_ref(ta, tb, m, n, k, &a, &b, &mut c_ref);
+        for (i, (x, y)) in c.iter().zip(&c_ref).enumerate() {
+            if y.is_nan() {
+                prop_assert!(x.is_nan(), "{ta:?}{tb:?} c[{i}]: expected NaN, got {x}");
+            } else if y.is_infinite() {
+                prop_assert!(*x == *y, "{ta:?}{tb:?} c[{i}]: expected {y}, got {x}");
+            } else {
+                prop_assert!((x - y).abs() < 1e-3, "{ta:?}{tb:?} c[{i}]: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
     fn im2col_col2im_adjoint(
         cin in 1usize..4,
         h in 3usize..10,

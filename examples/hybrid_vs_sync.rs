@@ -4,14 +4,33 @@
 //! runs carry measurable gradient staleness, and (c) both converge.
 //!
 //! ```text
-//! cargo run --release --example hybrid_vs_sync
+//! cargo run --release --example hybrid_vs_sync [-- --trace out.json]
 //! ```
+//!
+//! With `--trace`, every run's iteration/all-reduce/PS spans land in
+//! Chrome `trace_event` JSON (load at chrome://tracing) plus a
+//! per-iteration CSV next to it.
 
 use scidl_core::thread_engine::{ThreadEngine, ThreadEngineConfig};
+use scidl_core::trace;
 use scidl_data::{HepConfig, HepDataset};
 use std::sync::Arc;
 
 fn main() {
+    let trace_path: Option<std::path::PathBuf> = {
+        let mut args = std::env::args();
+        let mut found = None;
+        while let Some(a) = args.next() {
+            if a == "--trace" {
+                found = Some(args.next().expect("--trace requires a path").into());
+            }
+        }
+        found
+    };
+    if trace_path.is_some() {
+        trace::install(Arc::new(trace::TraceSink::new()));
+    }
+
     let ds = Arc::new(HepDataset::generate(HepConfig::small(), 768, 99));
 
     for (label, groups, nodes_per_group, momentum) in [
@@ -44,4 +63,18 @@ fn main() {
     }
     println!("\nnote: staleness is 0 for the synchronous run by construction and ~G-1");
     println!("for G free-running groups — the quantity the momentum correction of [31] targets.");
+
+    if let Some(path) = trace_path {
+        let sink = trace::uninstall().expect("sink was installed above");
+        sink.write_chrome_json(&path).expect("write trace json");
+        let csv_path = path.with_extension("csv");
+        sink.write_iteration_csv(&csv_path).expect("write trace csv");
+        println!(
+            "\ntrace: {} events -> {}, {} rows -> {}",
+            sink.events().len(),
+            path.display(),
+            sink.rows().len(),
+            csv_path.display()
+        );
+    }
 }

@@ -1,0 +1,182 @@
+//! End-to-end tests of the structured-tracing subsystem: a hybrid
+//! thread-engine run, a simulated-time run and a serving-simulator run
+//! must each land spans and per-iteration rows in an installed
+//! [`scidl_trace::TraceSink`]; a poisoned gradient must be caught by the
+//! numeric-health sentinel and attributed to the offending layer.
+//!
+//! The sink is process-global, so every test takes `trace_lock()` before
+//! installing one.
+
+use scidl_core::sim_engine::{SimEngine, SimEngineConfig, SolverKind};
+use scidl_core::thread_engine::{ThreadEngine, ThreadEngineConfig};
+use scidl_core::workloads::hep_workload;
+use scidl_data::{HepConfig, HepDataset};
+use scidl_serve::queue::BatchPolicy;
+use scidl_serve::sim::{simulate, ServiceModel, SimConfig};
+use scidl_serve::PoissonArrivals;
+use scidl_tensor::TensorRng;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Serialises tests that install the process-global trace sink.
+fn trace_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn fresh_sink() -> Arc<scidl_trace::TraceSink> {
+    scidl_trace::uninstall();
+    let sink = Arc::new(scidl_trace::TraceSink::new());
+    scidl_trace::install(Arc::clone(&sink));
+    sink
+}
+
+#[test]
+fn hybrid_thread_engine_run_emits_spans_and_rows() {
+    let _g = trace_lock();
+    let sink = fresh_sink();
+
+    let ds = Arc::new(HepDataset::generate(HepConfig::small(), 64, 11));
+    let mut cfg = ThreadEngineConfig::new(2, 2, 8);
+    cfg.iterations = 5;
+    cfg.seed = 0x71;
+    let run = ThreadEngine::run(&cfg, ds);
+    scidl_trace::uninstall();
+
+    assert!(run.final_params.iter().all(|p| p.is_finite()));
+    let events = sink.events();
+    let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+    for want in ["iteration", "compute", "allreduce", "ps_exchange"] {
+        assert!(names.contains(&want), "missing {want} span; got {names:?}");
+    }
+
+    // One row per group iteration, all on the training track.
+    let rows = sink.rows();
+    assert_eq!(rows.len(), cfg.groups * cfg.iterations);
+    assert!(rows.iter().all(|r| r.kind == "train"));
+    assert!(rows.iter().all(|r| r.compute_s >= 0.0 && r.comm_s >= 0.0));
+    assert!(rows.iter().any(|r| r.loss.is_finite()));
+
+    // Exports are loadable artifacts, not just in-memory state.
+    let json = sink.chrome_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ps_exchange\""));
+    assert!(json.contains("\"staleness\""));
+    let csv = sink.iteration_csv();
+    assert!(csv.starts_with(scidl_trace::ITER_CSV_HEADER));
+    assert_eq!(csv.lines().count(), 1 + rows.len());
+}
+
+#[test]
+fn sim_engine_trace_is_deterministic_and_attributes_time() {
+    let _g = trace_lock();
+    let ds = HepDataset::generate(HepConfig::small(), 32, 1);
+    let mut cfg = SimEngineConfig::fig8(4, 2, 8, hep_workload());
+    cfg.iterations = 4;
+    cfg.solver = SolverKind::Sgd { momentum: 0.7 };
+
+    let mut artifacts = Vec::new();
+    for _ in 0..2 {
+        let sink = fresh_sink();
+        let mut model = scidl_nn::arch::hep_small(&mut TensorRng::new(3));
+        SimEngine::run(&cfg, &mut model, &ds);
+        scidl_trace::uninstall();
+        artifacts.push((sink.chrome_json(), sink.iteration_csv(), sink.rows()));
+    }
+    // Virtual timestamps: the whole trace is bit-identical run to run.
+    assert_eq!(artifacts[0].0, artifacts[1].0);
+    assert_eq!(artifacts[0].1, artifacts[1].1);
+
+    let rows = &artifacts[0].2;
+    assert_eq!(rows.len(), cfg.groups * cfg.iterations);
+    // Hybrid (2 groups): every iteration pays compute, all-reduce AND a
+    // PS exchange; some update must observe staleness from the other
+    // group.
+    assert!(rows.iter().all(|r| r.compute_s > 0.0 && r.comm_s > 0.0 && r.ps_s > 0.0));
+    assert!(rows.iter().any(|r| r.staleness > 0));
+    assert!(artifacts[0].0.contains("\"ps_exchange\""));
+}
+
+#[test]
+fn serving_sim_emits_batch_dispatch_rows_with_queue_compute_split() {
+    let _g = trace_lock();
+    let model = ServiceModel::hep();
+    // Offer ~2× the batch-8 saturated rate so batches queue up.
+    let arrivals: Vec<f64> =
+        PoissonArrivals::new(7, 2.0 * model.saturated_rate(8), 120).collect();
+    let cfg = SimConfig {
+        workers: 2,
+        queue_capacity: 256,
+        policy: BatchPolicy::dynamic(8, Duration::from_millis(2)),
+    };
+
+    let mut jsons = Vec::new();
+    let mut rows = Vec::new();
+    for _ in 0..2 {
+        let sink = fresh_sink();
+        let out = simulate(&model, &arrivals, &cfg);
+        scidl_trace::uninstall();
+        assert_eq!(sink.rows().len(), out.batch_sizes.len());
+        jsons.push(sink.chrome_json());
+        rows = sink.rows();
+    }
+    assert_eq!(jsons[0], jsons[1], "seeded serving trace must be bit-identical");
+
+    assert!(rows.iter().all(|r| r.kind == "serve" && r.compute_s > 0.0));
+    assert!(
+        rows.iter().any(|r| r.queue_s > 0.0),
+        "overloaded pool must show queue wait"
+    );
+    assert!(rows.iter().any(|r| r.batch > 1), "load must form multi-request batches");
+    assert!(jsons[0].contains("\"batch_dispatch\""));
+}
+
+#[test]
+fn poisoned_gradient_is_caught_and_attributed_to_layer() {
+    let _g = trace_lock();
+
+    // Pick a block to poison and remember its name + flat offset.
+    let probe = scidl_nn::arch::hep_small(&mut TensorRng::new(0x99));
+    use scidl_nn::network::Model;
+    let blocks = probe.param_blocks();
+    assert!(blocks.len() >= 3, "need a few blocks to make attribution meaningful");
+    let target = 2usize;
+    let target_name = blocks[target].name.clone();
+    let poison_at: usize =
+        blocks[..target].iter().map(|b| b.len()).sum::<usize>() + blocks[target].len() / 2;
+
+    let sink = fresh_sink();
+    let ds = HepDataset::generate(HepConfig::small(), 32, 13);
+    let ds_len = ds.len();
+    let mut cfg = ThreadEngineConfig::new(1, 2, 4);
+    cfg.iterations = 3;
+    cfg.seed = 0x99;
+    ThreadEngine::run_with(
+        &cfg,
+        ds_len,
+        |seed| scidl_nn::arch::hep_small(&mut TensorRng::new(seed)),
+        move |model, indices| {
+            let (loss, mut g) = scidl_core::task::hep_gradient(model, &ds, indices);
+            g[poison_at] = f32::NAN;
+            (loss, g)
+        },
+    );
+    scidl_trace::uninstall();
+
+    let alerts = sink.health_alerts();
+    let grad_alert = alerts
+        .iter()
+        .find(|a| a.source == "gradient")
+        .expect("poisoned gradient must raise a health alert");
+    assert_eq!(
+        grad_alert.layer.as_deref(),
+        Some(target_name.as_str()),
+        "alert must name the poisoned layer"
+    );
+    assert!(grad_alert.value.is_nan());
+    assert!(grad_alert.iter.is_some());
+    // The alert is also visible in the exported timeline.
+    assert!(sink.chrome_json().contains("\"nonfinite\""));
+}

@@ -153,8 +153,8 @@ fn hybrid_engine_trains_lstm() {
         let last = &hs[t_steps - 1];
         let mut loss = 0.0f32;
         let mut dh = Tensor::zeros(last.shape());
-        for bi in 0..n {
-            let target = if sums[bi] > 0.0 { 0.5 } else { -0.5 };
+        for (bi, &s) in sums.iter().enumerate().take(n) {
+            let target = if s > 0.0 { 0.5 } else { -0.5 };
             let pred = last.data()[bi * 6];
             let d = pred - target;
             loss += d * d / n as f32;
