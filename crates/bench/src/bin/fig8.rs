@@ -13,21 +13,26 @@ use scidl_core::experiments::convergence::{fig8, Fig8Scale};
 fn main() {
     let trace_path = trace_from_args();
     let fast = std::env::args().any(|a| a == "--fast");
-    let scale = if fast {
+    let overlap = std::env::args().any(|a| a == "--overlap");
+    let mut scale = if fast {
         Fig8Scale {
             nodes: 256,
             total_batch: 256,
             sync_iterations: 48,
             dataset_events: 1024,
             smooth_window: 6,
+            overlap_comm: false,
         }
     } else {
         Fig8Scale::default()
     };
+    scale.overlap_comm = overlap;
 
     println!(
-        "Fig. 8: loss vs simulated wall-clock ({} virtual nodes, total batch {})\n",
-        scale.nodes, scale.total_batch
+        "Fig. 8: loss vs simulated wall-clock ({} virtual nodes, total batch {}, comm overlap {})\n",
+        scale.nodes,
+        scale.total_batch,
+        if overlap { "on" } else { "off" }
     );
     let result = fig8(&scale, 0xF168);
 
@@ -46,13 +51,23 @@ fn main() {
                 r.time_to_target
                     .map(|t| format!("{} s", fnum(t, 1)))
                     .unwrap_or_else(|| "not reached".into()),
+                format!("{} ms", fnum(r.iter_secs * 1e3, 2)),
+                format!("{} ms", fnum(r.iter_secs_overlap * 1e3, 2)),
             ]
         })
         .collect();
     println!(
         "{}",
         markdown_table(
-            &["run", "groups", "staleness", "final loss", &format!("time to loss {}", fnum(result.target_loss as f64, 3))],
+            &[
+                "run",
+                "groups",
+                "staleness",
+                "final loss",
+                &format!("time to loss {}", fnum(result.target_loss as f64, 3)),
+                "iter (seq)",
+                "iter (overlap)",
+            ],
             &rows
         )
     );

@@ -89,6 +89,7 @@ fn main() {
         sync_iterations: 48,
         dataset_events: 1024,
         smooth_window: 6,
+        overlap_comm: false,
     };
     let f8 = fig8(&scale, 0xF168);
     row(

@@ -22,6 +22,23 @@ pub struct GroupCrash {
     pub iteration: usize,
 }
 
+/// A single rank (node) of a compute group dying at a given iteration,
+/// leaving the rest of its group running into dead ring channels. Only
+/// meaningful for engines whose collectives can *detect* a missing peer
+/// — the thread engine's bucketed-overlap ring surfaces it as a
+/// `CommError` on every surviving rank of the group (Sec. VIII-A's
+/// "synchronous run dies with its first node", observed rather than
+/// assumed).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeCrash {
+    /// Which group loses a node.
+    pub group: usize,
+    /// Rank within the group that dies.
+    pub rank: usize,
+    /// Iteration at which it dies (before doing the iteration's work).
+    pub iteration: usize,
+}
+
 /// A parameter-server shard dying after serving some requests.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PsCrash {
@@ -79,6 +96,8 @@ pub struct Recovery {
 pub struct FaultPlan {
     /// Scheduled group deaths.
     pub group_crashes: Vec<GroupCrash>,
+    /// Scheduled single-rank deaths (dead ring neighbour scenarios).
+    pub node_crashes: Vec<NodeCrash>,
     /// Scheduled PS-shard deaths.
     pub ps_crashes: Vec<PsCrash>,
     /// Slow-group windows.
@@ -98,6 +117,12 @@ impl FaultPlan {
     /// Adds a group crash (builder style).
     pub fn with_group_crash(mut self, group: usize, iteration: usize) -> Self {
         self.group_crashes.push(GroupCrash { group, iteration });
+        self
+    }
+
+    /// Adds a single-rank crash (builder style).
+    pub fn with_node_crash(mut self, group: usize, rank: usize, iteration: usize) -> Self {
+        self.node_crashes.push(NodeCrash { group, rank, iteration });
         self
     }
 
@@ -137,6 +162,7 @@ impl FaultPlan {
     /// True when the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
         self.group_crashes.is_empty()
+            && self.node_crashes.is_empty()
             && self.ps_crashes.is_empty()
             && self.stragglers.is_empty()
             && self.message_delays.is_empty()
@@ -148,6 +174,16 @@ impl FaultPlan {
         self.group_crashes
             .iter()
             .filter(|c| c.group == group)
+            .map(|c| c.iteration)
+            .min()
+    }
+
+    /// Iteration at which rank `rank` of `group` is scheduled to die,
+    /// if any (earliest wins).
+    pub fn node_crash_at(&self, group: usize, rank: usize) -> Option<usize> {
+        self.node_crashes
+            .iter()
+            .filter(|c| c.group == group && c.rank == rank)
             .map(|c| c.iteration)
             .min()
     }
@@ -209,6 +245,19 @@ mod tests {
         assert_eq!(p.group_crash_at(0), None);
         assert_eq!(p.ps_crash_for_shard(0).unwrap().after_requests, 10);
         assert_eq!(p.recovery.unwrap().mttr_iters, 2);
+    }
+
+    #[test]
+    fn node_crashes_are_per_rank_and_earliest_wins() {
+        let p = FaultPlan::none()
+            .with_node_crash(0, 2, 7)
+            .with_node_crash(0, 2, 4)
+            .with_node_crash(1, 0, 9);
+        assert!(!p.is_empty());
+        assert_eq!(p.node_crash_at(0, 2), Some(4));
+        assert_eq!(p.node_crash_at(0, 0), None, "other ranks unaffected");
+        assert_eq!(p.node_crash_at(1, 0), Some(9));
+        assert_eq!(p.node_crash_at(2, 2), None, "other groups unaffected");
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   and a true ring reduce-scatter/all-gather over per-rank mailboxes
 //!   (what MLSL runs on the Aries network); both produce the exact mean
 //!   of the contributions.
+//! * [`bucket`] — bucketed, backward-overlapped gradient all-reduce
+//!   (Sec. V / Das et al. 1602.06709): a [`BucketPlan`] coalesces
+//!   parameter blocks into buckets in backward-readiness order and an
+//!   [`OverlapContext`] ring-reduces each bucket on a dedicated comm
+//!   thread while shallower layers still backprop — bit-identical to the
+//!   sequential [`bucketed_allreduce_mean`] baseline.
 //! * [`ps`] — per-layer parameter servers (Sec. III-E(c)): each trainable
 //!   block gets a dedicated server thread owning that shard of the model,
 //!   applying updates in arrival order and returning the fresh shard;
@@ -55,6 +61,7 @@
 //! ```
 
 pub mod allreduce;
+pub mod bucket;
 pub mod compress;
 pub mod endpoint;
 pub mod error;
@@ -62,7 +69,10 @@ pub mod ps;
 pub mod supervisor;
 pub mod world;
 
-pub use allreduce::{ring_allreduce_mean, RingFabric};
+pub use allreduce::{
+    ring_allreduce_mean, ring_allreduce_mean_scratch, RingEndpoint, RingFabric, RingScratch,
+};
+pub use bucket::{bucketed_allreduce_mean, BucketPlan, BucketSink, BucketStream, OverlapContext};
 pub use compress::CompressedAllReduce;
 pub use endpoint::PendingExchange;
 pub use error::{CommError, CommResult};

@@ -7,7 +7,7 @@
 //! `scidl_cluster::SimConfig::faults` for the injection points.
 
 pub use scidl_cluster::faults::{
-    FaultPlan, GroupCrash, MessageDelay, PsCrash, Recovery, Straggler,
+    FaultPlan, GroupCrash, MessageDelay, NodeCrash, PsCrash, Recovery, Straggler,
 };
 
 /// A plan that kills `group` at `iteration` and never repairs it — the
@@ -28,6 +28,15 @@ pub fn kill_and_recover_group(
     FaultPlan::none()
         .with_group_crash(group, iteration)
         .with_recovery(mttr_iters, mttr_secs)
+}
+
+/// A plan that kills rank `rank` of `group` at `iteration` and never
+/// repairs it. In the thread engine's bucketed-overlap mode the group's
+/// survivors hit the dead ring neighbour mid-bucket and abort with a
+/// `CommError` (Sec. VIII-A: a synchronous group dies with its first
+/// node).
+pub fn kill_node(group: usize, rank: usize, iteration: usize) -> FaultPlan {
+    FaultPlan::none().with_node_crash(group, rank, iteration)
 }
 
 /// A plan that crashes PS shard `shard` after it has served

@@ -72,6 +72,15 @@ pub struct SimEngineConfig {
     pub net: AriesModel,
     /// Variability model.
     pub jitter: JitterModel,
+    /// Charge the bucketed backward-overlapped all-reduce cost model
+    /// (Sec. III-D / MLSL): up to half of the compute window hides
+    /// communication, so only the excess all-reduce time is exposed.
+    /// This is the same window `scidl_cluster::SimConfig::overlap_comm`
+    /// charges, and mirrors the thread engine's
+    /// `ThreadEngineConfig::overlap_comm`. Gradient values are
+    /// timing-independent, so flipping this never changes the math —
+    /// only simulated wall-clock.
+    pub overlap_comm: bool,
 }
 
 impl SimEngineConfig {
@@ -92,6 +101,7 @@ impl SimEngineConfig {
             knl: KnlModel::default(),
             net: AriesModel::default(),
             jitter: JitterModel::default(),
+            overlap_comm: false,
         }
     }
 
@@ -232,6 +242,19 @@ impl SimEngine {
                     t.allreduce,
                     scidl_trace::EventKind::Allreduce { elems: cfg.timing.params },
                 );
+                if t.hidden > 0.0 {
+                    // One simulated bucket per parameter block: the span
+                    // covers the backward tail where comm was hidden.
+                    tr.event_at(
+                        gu,
+                        start + t.compute - t.hidden,
+                        t.hidden,
+                        scidl_trace::EventKind::Overlap {
+                            buckets: block_sizes.len() as u64,
+                            hidden_s: t.hidden,
+                        },
+                    );
+                }
                 if t.ps > 0.0 {
                     tr.event_at(
                         gu,
@@ -318,7 +341,17 @@ impl SimEngine {
         }
         let barrier = cfg.jitter.barrier_multiplier(rng, nodes_per_group);
         let delay = cfg.jitter.barrier_delay(rng, nodes_per_group);
-        let allreduce = cfg.net.allreduce_time(nodes_per_group, cfg.timing.model_bytes);
+        let mut allreduce = cfg.net.allreduce_time(nodes_per_group, cfg.timing.model_bytes);
+        let mut hidden = 0.0;
+        if cfg.overlap_comm {
+            // Bucketed layer-wise all-reduce overlaps with the backward
+            // pass (≈ half of the compute); only the excess is exposed —
+            // the same window `SimConfig::overlap_comm` charges in the
+            // cluster simulator.
+            let window = 0.5 * compute * barrier;
+            hidden = allreduce.min(window);
+            allreduce = (allreduce - window).max(0.0);
+        }
         let compute_part = compute * barrier + delay;
         let mut dur = compute_part + allreduce;
         if hybrid {
@@ -341,9 +374,41 @@ impl SimEngine {
         IterTiming {
             compute: compute_part,
             allreduce,
+            hidden,
             ps: dur - compute_part - allreduce,
             total: dur,
         }
+    }
+
+    /// Mean simulated seconds per group iteration under `cfg`, replaying
+    /// the timing model alone (no gradients computed). `num_blocks` sizes
+    /// the PS bank exactly as a real run with that many parameter blocks
+    /// would; `samples` iterations per group are simulated. This is what
+    /// the fig8 bench uses for its per-iteration wall-clock columns, so
+    /// overlap on/off can be compared without retraining.
+    pub fn mean_iteration_secs(cfg: &SimEngineConfig, num_blocks: usize, samples: usize) -> f64 {
+        assert!(cfg.groups >= 1 && cfg.nodes >= cfg.groups, "invalid group/node config");
+        assert!(samples > 0, "need at least one sampled iteration");
+        let groups = cfg.groups;
+        let nodes_per_group = cfg.nodes / groups;
+        let hybrid = groups > 1;
+        let mut rng = TensorRng::new(cfg.seed ^ 0x51E6);
+        let num_ps = num_blocks.clamp(1, 16);
+        let mut ps_free = vec![0.0f64; num_ps];
+        let mut jrngs: Vec<TensorRng> = (0..groups).map(|g| rng.fork(g as u64 + 31)).collect();
+        let mut queue: EventQueue<(usize, usize)> = EventQueue::new();
+        for (g, jrng) in jrngs.iter_mut().enumerate() {
+            let t = Self::group_duration(cfg, nodes_per_group, hybrid, &mut ps_free, 0.0, jrng);
+            queue.schedule(t.total, (g, 0));
+        }
+        while let Some((now, (g, iter))) = queue.pop() {
+            if iter + 1 < samples {
+                let t =
+                    Self::group_duration(cfg, nodes_per_group, hybrid, &mut ps_free, now, &mut jrngs[g]);
+                queue.schedule(now + t.total, (g, iter + 1));
+            }
+        }
+        queue.now() / samples as f64
     }
 }
 
@@ -354,6 +419,9 @@ impl SimEngine {
 struct IterTiming {
     compute: f64,
     allreduce: f64,
+    /// All-reduce seconds hidden behind the backward pass; non-zero only
+    /// with [`SimEngineConfig::overlap_comm`].
+    hidden: f64,
     ps: f64,
     total: f64,
 }
@@ -469,6 +537,58 @@ mod tests {
         // Both groups contribute points spread over the run.
         assert!(r.per_group.iter().all(|c| c.len() == cfg.iterations));
         assert!(r.total_time > 0.0);
+    }
+
+    #[test]
+    fn overlap_changes_only_simulated_time_never_the_math() {
+        let ds = tiny_dataset();
+        let run = |overlap: bool| {
+            let mut cfg = base_cfg(1);
+            cfg.overlap_comm = overlap;
+            let mut rng = TensorRng::new(21);
+            let mut m = scidl_nn::arch::hep_small(&mut rng);
+            SimEngine::run(&cfg, &mut m, &ds)
+        };
+        let plain = run(false);
+        let overlapped = run(true);
+        // Gradients are timing-independent with one group, so the
+        // trajectory and final parameters are bit-identical…
+        assert_eq!(plain.final_params, overlapped.final_params);
+        let pl: Vec<f32> = plain.curve.points.iter().map(|p| p.1).collect();
+        let ov: Vec<f32> = overlapped.curve.points.iter().map(|p| p.1).collect();
+        assert_eq!(pl, ov);
+        // …while the simulated clock advances strictly less.
+        assert!(
+            overlapped.total_time < plain.total_time,
+            "overlap must hide communication: {} vs {}",
+            overlapped.total_time,
+            plain.total_time
+        );
+    }
+
+    #[test]
+    fn mean_iteration_secs_tracks_overlap_savings() {
+        let mut cfg = base_cfg(1);
+        cfg.jitter = JitterModel::none();
+        let plain = SimEngine::mean_iteration_secs(&cfg, 8, 16);
+        cfg.overlap_comm = true;
+        let overlapped = SimEngine::mean_iteration_secs(&cfg, 8, 16);
+        assert!(plain > 0.0 && overlapped > 0.0);
+        assert!(
+            overlapped < plain,
+            "overlap column must be lower: {overlapped} vs {plain}"
+        );
+        // Without jitter the saving is exactly min(allreduce, window).
+        let nodes = cfg.nodes / cfg.groups;
+        let allreduce = cfg.net.allreduce_time(nodes, cfg.timing.model_bytes);
+        let b = (cfg.batch_per_group / nodes).max(1);
+        let window = 0.5 * cfg.timing.node_iteration_time(&cfg.knl, b);
+        let saved = plain - overlapped;
+        let want = allreduce.min(window);
+        assert!(
+            (saved - want).abs() < 1e-9,
+            "saved {saved} vs expected hidden {want}"
+        );
     }
 
     #[test]

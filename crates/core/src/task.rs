@@ -1,9 +1,109 @@
 //! The supervised HEP training task used by both engines: compute loss
-//! and flattened gradient for a minibatch.
+//! and flattened gradient for a minibatch, as a plain function and as a
+//! [`GradTask`] capable of overlapping gradient communication with the
+//! backward pass.
 
+use scidl_comm::bucket::BucketSink;
 use scidl_data::HepDataset;
 use scidl_nn::network::{Model, Network};
 use scidl_nn::SoftmaxCrossEntropy;
+use std::sync::Arc;
+
+/// A training task the engines can drive: given a model and a minibatch
+/// of sample indices, produce the loss and the flat gradient.
+///
+/// Any `Fn(&mut M, &[usize]) -> (f32, Vec<f32>)` closure is a
+/// `GradTask` via the blanket impl (the non-overlapping path). Tasks
+/// that know their model's backward structure — like [`HepGradTask`] —
+/// additionally override [`GradTask::grad_overlapped`] to deliver each
+/// parameter block into a [`BucketSink`] the moment its gradients are
+/// final, so bucketed all-reduces run while shallower layers still
+/// backpropagate (the paper's MLSL overlap, Sec. V).
+pub trait GradTask<M: Model>: Send + Sync {
+    /// One forward/backward over the minibatch: `(mean loss, flat gradient)`.
+    fn grad(&self, model: &mut M, indices: &[usize]) -> (f32, Vec<f32>);
+
+    /// Overlapped variant: compute the gradient, pushing parameter
+    /// blocks into `sink` in backward-readiness order (deepest layer
+    /// first; within a layer, reverse block order). Returns the loss;
+    /// the reduced gradient comes back from the sink's stream.
+    ///
+    /// The default computes the full flat gradient first and then
+    /// replays its blocks — bit-identical to a true layered backward,
+    /// it just hides no communication. Override it to overlap for real.
+    fn grad_overlapped(
+        &self,
+        model: &mut M,
+        indices: &[usize],
+        sink: &mut dyn BucketSink,
+    ) -> f32 {
+        let (loss, grads) = self.grad(model, indices);
+        sink.push_flat(&grads);
+        loss
+    }
+}
+
+impl<M: Model, F> GradTask<M> for F
+where
+    F: Fn(&mut M, &[usize]) -> (f32, Vec<f32>) + Send + Sync,
+{
+    fn grad(&self, model: &mut M, indices: &[usize]) -> (f32, Vec<f32>) {
+        self(model, indices)
+    }
+}
+
+/// The supervised HEP classification task as a [`GradTask`] with a true
+/// layer-wise overlapped backward: [`GradTask::grad_overlapped`] walks
+/// [`Network::backward_layered`] and ships each layer's blocks as soon
+/// as that layer's backward completes.
+pub struct HepGradTask {
+    ds: Arc<HepDataset>,
+}
+
+impl HepGradTask {
+    /// Wraps the dataset the task samples minibatches from.
+    pub fn new(ds: Arc<HepDataset>) -> Self {
+        Self { ds }
+    }
+}
+
+impl GradTask<Network> for HepGradTask {
+    fn grad(&self, model: &mut Network, indices: &[usize]) -> (f32, Vec<f32>) {
+        hep_gradient(model, &self.ds, indices)
+    }
+
+    fn grad_overlapped(
+        &self,
+        model: &mut Network,
+        indices: &[usize],
+        sink: &mut dyn BucketSink,
+    ) -> f32 {
+        let (batch, labels) = self.ds.gather(indices);
+        model.zero_grads();
+        let logits = model.forward(&batch);
+        let (loss, dlogits) = SoftmaxCrossEntropy::forward(&logits, &labels);
+        // Flat-order index of each layer's first parameter block.
+        let first_block: Vec<usize> = model
+            .layers()
+            .iter()
+            .scan(0usize, |acc, l| {
+                let first = *acc;
+                *acc += l.params().len();
+                Some(first)
+            })
+            .collect();
+        model.backward_layered(&dlogits, |li, layer| {
+            // Within a layer all blocks become final together; pushing
+            // them in reverse keeps the global delivery order equal to
+            // strict reverse flat order, matching the bucket plan.
+            let params = layer.params();
+            for (bi, b) in params.iter().enumerate().rev() {
+                sink.push_block(first_block[li] + bi, b.grad.data());
+            }
+        });
+        loss
+    }
+}
 
 /// Runs one forward/backward over the indexed minibatch and returns
 /// `(mean loss, flat gradient)`. Gradients are fresh (zeroed first), so
@@ -62,6 +162,46 @@ mod tests {
         assert_eq!(l1, l2);
         assert_eq!(g1, g2);
         assert!(g1.iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn overlapped_gradient_is_bit_identical_and_deepest_first() {
+        struct Collect {
+            blocks: Vec<(usize, Vec<f32>)>,
+        }
+        impl BucketSink for Collect {
+            fn push_block(&mut self, block: usize, grad: &[f32]) {
+                self.blocks.push((block, grad.to_vec()));
+            }
+            fn push_flat(&mut self, _flat: &[f32]) {
+                panic!("HepGradTask must deliver per-block, not flat");
+            }
+        }
+
+        let ds = Arc::new(HepDataset::generate(HepConfig::small(), 8, 11));
+        let task = HepGradTask::new(Arc::clone(&ds));
+        let mut rng = TensorRng::new(15);
+        let mut model = scidl_nn::arch::hep_small(&mut rng);
+        let idx = [0usize, 1, 2, 3];
+
+        let (loss_ref, grads_ref) = task.grad(&mut model, &idx);
+
+        let mut sink = Collect { blocks: Vec::new() };
+        let loss = task.grad_overlapped(&mut model, &idx, &mut sink);
+        assert_eq!(loss, loss_ref);
+
+        let num_blocks = model.param_blocks().len();
+        assert_eq!(sink.blocks.len(), num_blocks);
+        // Delivery order is strict reverse flat order (readiness order).
+        let order: Vec<usize> = sink.blocks.iter().map(|(b, _)| *b).collect();
+        let want: Vec<usize> = (0..num_blocks).rev().collect();
+        assert_eq!(order, want);
+        // Reassembling the blocks in flat order reproduces the flat
+        // gradient bit-for-bit.
+        let mut sorted = sink.blocks.clone();
+        sorted.sort_by_key(|(b, _)| *b);
+        let flat: Vec<f32> = sorted.into_iter().flat_map(|(_, g)| g).collect();
+        assert_eq!(flat, grads_ref);
     }
 
     #[test]

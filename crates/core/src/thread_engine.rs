@@ -38,11 +38,12 @@
 use crate::checkpoint::Checkpoint;
 use crate::faults::FaultPlan;
 use crate::metrics::LossCurve;
-use crate::task::hep_gradient;
+use crate::task::{GradTask, HepGradTask};
 use parking_lot::Mutex;
+use scidl_comm::bucket::{BucketPlan, OverlapContext};
 use scidl_comm::ps::UpdateFn;
 use scidl_comm::supervisor::{SupervisedPsBank, SupervisorConfig, UpdateFactory};
-use scidl_comm::CommWorld;
+use scidl_comm::{CommWorld, RingEndpoint, RingFabric};
 use scidl_data::{BatchSampler, HepDataset};
 use scidl_nn::network::Model;
 use scidl_nn::Solver;
@@ -73,9 +74,21 @@ pub struct ThreadEngineConfig {
     /// Run ADAM at the parameter servers instead of momentum-SGD (the
     /// paper's HEP configuration, Sec. III-A).
     pub adam: bool,
+    /// Overlap gradient communication with backward compute (Sec. V):
+    /// each group's gradients are bucketed ([`bucket_bytes`](Self::bucket_bytes))
+    /// and ring-reduced on a dedicated per-rank comm thread while
+    /// shallower layers still backpropagate. Updates are bit-identical
+    /// to the sequential bucketed schedule; only the timing changes.
+    pub overlap_comm: bool,
+    /// Target gradient bucket size in bytes for overlap mode (blocks are
+    /// coalesced in backward-readiness order up to roughly this size;
+    /// `0` = one bucket per parameter block).
+    pub bucket_bytes: usize,
     /// Fault-injection scenario (Sec. VIII-A): group crashes (with or
     /// without recovery), PS crashes, stragglers and message delays.
-    /// `FaultPlan::none()` trains fault-free.
+    /// Single-rank `node_crashes` require `overlap_comm` (only the ring
+    /// collectives can *detect* a missing peer). `FaultPlan::none()`
+    /// trains fault-free.
     pub faults: FaultPlan,
     /// Write a crash-safe checkpoint every N group-0 iterations
     /// (0 = off; requires `checkpoint_path`).
@@ -97,6 +110,8 @@ impl ThreadEngineConfig {
             lr: 1e-3,
             momentum: 0.0,
             adam: false,
+            overlap_comm: false,
+            bucket_bytes: 1 << 16,
             faults: FaultPlan::none(),
             checkpoint_every: 0,
             checkpoint_path: None,
@@ -140,23 +155,27 @@ struct Shared {
 pub struct ThreadEngine;
 
 impl ThreadEngine {
-    /// Trains `hep_small` (seeded from `cfg.seed`) on `ds`.
+    /// Trains `hep_small` (seeded from `cfg.seed`) on `ds`. With
+    /// `cfg.overlap_comm` the HEP task's layered backward overlaps each
+    /// bucket's ring all-reduce with the remaining backward compute.
     pub fn run(cfg: &ThreadEngineConfig, ds: Arc<HepDataset>) -> ThreadRunSummary {
-        let data = Arc::clone(&ds);
+        let len = ds.len();
         Self::run_with(
             cfg,
-            ds.len(),
+            len,
             move |seed| {
                 let mut rng = TensorRng::new(seed);
                 scidl_nn::arch::hep_small(&mut rng)
             },
-            move |model, indices| hep_gradient(model, &data, indices),
+            HepGradTask::new(ds),
         )
     }
 
     /// Generic thread-backed hybrid training. `build` constructs the
     /// (identical) initial model on every worker from the seed; `grad`
-    /// computes `(loss, flat gradient)` for a batch of sample indices.
+    /// computes `(loss, flat gradient)` for a batch of sample indices —
+    /// a plain closure works, and a [`GradTask`] overriding
+    /// `grad_overlapped` additionally supports `cfg.overlap_comm`.
     pub fn run_with<M, B, G>(
         cfg: &ThreadEngineConfig,
         dataset_len: usize,
@@ -166,12 +185,17 @@ impl ThreadEngine {
     where
         M: Model,
         B: Fn(u64) -> M + Send + Sync,
-        G: Fn(&mut M, &[usize]) -> (f32, Vec<f32>) + Send + Sync,
+        G: GradTask<M>,
     {
         assert!(cfg.groups >= 1 && cfg.nodes_per_group >= 1);
         assert!(
             cfg.batch_per_group >= cfg.nodes_per_group,
             "each node needs at least one image"
+        );
+        assert!(
+            cfg.faults.node_crashes.is_empty() || cfg.overlap_comm,
+            "single-rank node crashes require overlap_comm: only the ring \
+             collectives detect a missing peer (the tree all-reduce would hang)"
         );
 
         // Template model defines the block structure and initial params.
@@ -226,17 +250,31 @@ impl ThreadEngine {
             staleness: Mutex::new((0.0, 0, vec![0u64; STALENESS_BUCKETS])),
             fault_stats: Mutex::new((0, 0)),
         });
+        // Overlap mode: one bucket plan shared by all ranks (readiness
+        // order over the blocks), one gradient ring per group.
+        let plan = Arc::new(BucketPlan::new(&block_sizes, cfg.bucket_bytes));
         let t0 = Instant::now();
 
         std::thread::scope(|scope| {
             for g in 0..cfg.groups {
                 let comms = CommWorld::new(cfg.nodes_per_group);
+                let mut endpoints: Vec<Option<RingEndpoint>> = if cfg.overlap_comm {
+                    RingFabric::new(cfg.nodes_per_group)
+                        .into_endpoints()
+                        .into_iter()
+                        .map(Some)
+                        .collect()
+                } else {
+                    (0..cfg.nodes_per_group).map(|_| None).collect()
+                };
                 for (r, comm) in comms.into_iter().enumerate() {
                     let cfg = cfg.clone();
                     let bank = Arc::clone(&bank);
                     let shared = Arc::clone(&shared);
                     let block_sizes = block_sizes.clone();
                     let block_names = Arc::clone(&block_names);
+                    let plan = Arc::clone(&plan);
+                    let endpoint = endpoints[r].take();
                     let tr = tr.clone();
                     let build = &build;
                     let grad = &grad;
@@ -245,6 +283,8 @@ impl ThreadEngine {
                             g,
                             r,
                             comm,
+                            endpoint,
+                            plan,
                             cfg,
                             dataset_len,
                             bank,
@@ -296,6 +336,8 @@ fn worker<M, B, G>(
     group: usize,
     rank: usize,
     comm: scidl_comm::Communicator,
+    endpoint: Option<RingEndpoint>,
+    plan: Arc<BucketPlan>,
     cfg: ThreadEngineConfig,
     dataset_len: usize,
     bank: Arc<SupervisedPsBank>,
@@ -309,10 +351,15 @@ fn worker<M, B, G>(
 ) where
     M: Model,
     B: Fn(u64) -> M + Send + Sync,
-    G: Fn(&mut M, &[usize]) -> (f32, Vec<f32>) + Send + Sync,
+    G: GradTask<M>,
 {
     // Every worker builds the identical initial model.
     let mut model = build(cfg.seed);
+    // Overlap mode: a dedicated comm thread owns this rank's ring
+    // endpoint for the whole run (MLSL's endpoint proxy threads).
+    let mut overlap: Option<OverlapContext> =
+        endpoint.map(|ep| OverlapContext::spawn(rank, cfg.nodes_per_group, ep));
+    let node_crash_iter = cfg.faults.node_crash_at(group, rank);
 
     let node_id = group * cfg.nodes_per_group + rank;
     let total_nodes = cfg.groups * cfg.nodes_per_group;
@@ -327,6 +374,13 @@ fn worker<M, B, G>(
     let mut recovered = false;
 
     for iter in 0..cfg.iterations {
+        if node_crash_iter.is_some_and(|k| iter >= k) {
+            // This rank alone dies (Sec. VIII-A): returning drops the
+            // overlap comm thread and with it this rank's ring channels,
+            // so the group's survivors hit the dead neighbour mid-bucket
+            // and abort with a CommError instead of hanging.
+            return;
+        }
         if !recovered && cfg.faults.group_crash_at(group) == Some(iter) {
             // The whole group observes the same condition and stops
             // together — a node failure taking its group down
@@ -379,7 +433,32 @@ fn worker<M, B, G>(
         let iter_t = tr.now();
         model.set_flat_params(&flat);
         let indices = sampler.next_batch();
-        let (loss, mut grads) = grad(&mut model, &indices);
+        // Overlap mode: backward streams gradient buckets to the comm
+        // thread as layers complete; `finish` drains the reduced buckets,
+        // so `grads` is already the group mean.
+        let mut already_reduced = false;
+        let (loss, mut grads) = match overlap.as_mut() {
+            Some(ctx) => {
+                let mut stream = ctx.stream(&plan);
+                let loss = grad.grad_overlapped(&mut model, &indices, &mut stream);
+                let mut reduced = vec![0.0f32; plan.total_len()];
+                match stream.finish(&mut reduced) {
+                    Ok(()) => {
+                        already_reduced = true;
+                        (loss, reduced)
+                    }
+                    Err(_) => {
+                        // A ring neighbour died mid-bucket: fatal for the
+                        // whole synchronous group (Sec. VIII-A). Return
+                        // before any tree collective so the group's
+                        // survivors stop together instead of deadlocking
+                        // on a rank that will never arrive.
+                        return;
+                    }
+                }
+            }
+            None => grad.grad(&mut model, &indices),
+        };
         let compute_s = tr.now() - iter_t;
         if rank == 0 {
             tr.span(
@@ -406,9 +485,12 @@ fn worker<M, B, G>(
             }
         }
 
-        // Intra-group synchronous step: average gradients and loss.
+        // Intra-group synchronous step: average gradients and loss (the
+        // gradient mean already happened on the ring in overlap mode).
         let ar_t = tr.now();
-        comm.allreduce_mean(&mut grads);
+        if !already_reduced {
+            comm.allreduce_mean(&mut grads);
+        }
         let mut lbuf = [loss];
         comm.allreduce_mean(&mut lbuf);
         let group_loss = lbuf[0];
@@ -574,6 +656,7 @@ fn worker<M, B, G>(
 mod tests {
     use super::*;
     use crate::faults;
+    use crate::task::hep_gradient;
     use scidl_data::HepConfig;
     use scidl_nn::Sgd;
 
@@ -617,6 +700,74 @@ mod tests {
         assert_eq!(run.mean_staleness, 0.0);
         assert_eq!(run.ps_respawns, 0);
         assert_eq!(run.recovered_updates, 0);
+    }
+
+    #[test]
+    fn overlap_single_node_is_bit_identical_to_sequential_path() {
+        // With one rank the ring is the identity, so overlap on/off must
+        // produce bit-identical parameters — pinning that the overlapped
+        // grad path computes exactly the same gradients.
+        let ds = dataset();
+        let mut cfg = ThreadEngineConfig::new(1, 1, 8);
+        cfg.iterations = 5;
+        cfg.momentum = 0.9;
+        let base = ThreadEngine::run(&cfg, Arc::clone(&ds));
+        cfg.overlap_comm = true;
+        cfg.bucket_bytes = 512; // force several buckets
+        let over = ThreadEngine::run(&cfg, Arc::clone(&ds));
+        assert_eq!(base.final_params, over.final_params);
+        assert_eq!(base.updates, over.updates);
+    }
+
+    #[test]
+    fn overlap_group_agrees_with_tree_path_numerically() {
+        // Across ranks the ring and tree all-reduce sum in different
+        // orders, so bit-identity is not expected against the *tree*
+        // baseline (the sequential bucketed-ring reference in the
+        // integration tests pins bit-identity); numerically the runs
+        // must agree tightly.
+        let ds = dataset();
+        let mut cfg = ThreadEngineConfig::new(1, 4, 8);
+        cfg.iterations = 6;
+        cfg.momentum = 0.5;
+        let base = ThreadEngine::run(&cfg, Arc::clone(&ds));
+        cfg.overlap_comm = true;
+        cfg.bucket_bytes = 2048;
+        let over = ThreadEngine::run(&cfg, Arc::clone(&ds));
+        assert_eq!(over.updates, base.updates);
+        let max_err = base
+            .final_params
+            .iter()
+            .zip(&over.final_params)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-4, "overlap run diverged from tree run by {max_err}");
+    }
+
+    #[test]
+    fn node_crash_in_overlap_mode_stops_the_group_not_the_run() {
+        // Rank 1 of group 0 dies at iteration 2: group 0's survivors hit
+        // the dead ring neighbour, get a CommError and stop together;
+        // group 1 keeps training through the PS bank.
+        let ds = dataset();
+        let mut cfg = ThreadEngineConfig::new(2, 3, 6);
+        cfg.iterations = 8;
+        cfg.overlap_comm = true;
+        cfg.bucket_bytes = 1024;
+        cfg.faults = faults::kill_node(0, 1, 2);
+        let run = ThreadEngine::run(&cfg, Arc::clone(&ds));
+        // Group 0 contributes its 2 pre-crash updates; group 1 all 8.
+        assert_eq!(run.updates, 8 + 2);
+        assert!(run.final_params.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "node crashes require overlap_comm")]
+    fn node_crash_without_overlap_is_rejected() {
+        let ds = dataset();
+        let mut cfg = ThreadEngineConfig::new(1, 2, 4);
+        cfg.faults = faults::kill_node(0, 1, 1);
+        let _ = ThreadEngine::run(&cfg, ds);
     }
 
     #[test]
@@ -772,7 +923,9 @@ mod tests {
                 let mut rng = TensorRng::new(seed);
                 scidl_nn::residual::resnet_small(3, 2, &mut rng)
             },
-            move |model, indices| hep_gradient(model, &data, indices),
+            move |model: &mut scidl_nn::network::Network, indices: &[usize]| {
+                hep_gradient(model, &data, indices)
+            },
         );
         assert_eq!(run.updates, 8);
         assert!(run.final_params.iter().all(|p| p.is_finite()));

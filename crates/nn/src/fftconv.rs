@@ -101,7 +101,7 @@ pub fn fft_conv_cmacs(cin: usize, cout: usize, h: usize, w: usize, k: usize) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::conv::Conv2d;
+    use crate::conv::{Conv2d, ConvAlgorithm};
     use crate::layer::Layer;
     use scidl_tensor::TensorRng;
 
@@ -147,6 +147,70 @@ mod tests {
         let x = Tensor::zeros(Shape4::new(1, 2, 4, 4));
         let y = fft_conv(&x, &w, &[2.5], 1);
         assert!(y.data().iter().all(|&v| (v - 2.5).abs() < 1e-5));
+    }
+
+    #[test]
+    fn fft_forward_backward_passes_finite_difference_check() {
+        // The FFT forward pairs with the shared im2col backward; this
+        // checks the *pair* end to end: d(sum(forward(x) ⊙ r))/dθ from
+        // backward must match central differences of the FFT forward
+        // itself, for weights, bias and the input.
+        let (cin, cout, hw, k, pad) = (2usize, 3usize, 6usize, 3usize, 1usize);
+        let mut rng = TensorRng::new(29);
+        let mut conv =
+            Conv2d::new("c", cin, cout, k, 1, pad, &mut rng).with_algorithm(ConvAlgorithm::Fft);
+        assert_eq!(conv.algorithm(), ConvAlgorithm::Fft);
+        let x = rng.uniform_tensor(Shape4::new(1, cin, hw, hw), -1.0, 1.0);
+        let r = rng.uniform_tensor(Shape4::new(1, cout, hw, hw), -1.0, 1.0);
+
+        // Scalar objective L = sum(y ⊙ r), so dL/dy = r.
+        let loss = |conv: &mut Conv2d, x: &Tensor| -> f64 {
+            let y = conv.forward(x);
+            y.data().iter().zip(r.data()).map(|(a, b)| *a as f64 * *b as f64).sum()
+        };
+
+        for p in conv.params_mut() {
+            p.zero_grad();
+        }
+        conv.forward(&x);
+        let dx = conv.backward(&r);
+        let wgrad: Vec<f32> = conv.params()[0].grad.data().to_vec();
+        let bgrad: Vec<f32> = conv.params()[1].grad.data().to_vec();
+
+        let eps = 5e-2f32;
+        let check = |analytic: f32, numeric: f64, what: &str| {
+            let tol = 3e-2 + 3e-2 * analytic.abs() as f64;
+            assert!(
+                (analytic as f64 - numeric).abs() < tol,
+                "{what}: analytic {analytic} vs FD {numeric}"
+            );
+        };
+
+        for idx in (0..wgrad.len()).step_by(5) {
+            conv.params_mut()[0].value.data_mut()[idx] += eps;
+            let lp = loss(&mut conv, &x);
+            conv.params_mut()[0].value.data_mut()[idx] -= 2.0 * eps;
+            let lm = loss(&mut conv, &x);
+            conv.params_mut()[0].value.data_mut()[idx] += eps;
+            check(wgrad[idx], (lp - lm) / (2.0 * eps as f64), &format!("weight {idx}"));
+        }
+        for (idx, &g) in bgrad.iter().enumerate() {
+            conv.params_mut()[1].value.data_mut()[idx] += eps;
+            let lp = loss(&mut conv, &x);
+            conv.params_mut()[1].value.data_mut()[idx] -= 2.0 * eps;
+            let lm = loss(&mut conv, &x);
+            conv.params_mut()[1].value.data_mut()[idx] += eps;
+            check(g, (lp - lm) / (2.0 * eps as f64), &format!("bias {idx}"));
+        }
+        for idx in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let lp = loss(&mut conv, &xp);
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lm = loss(&mut conv, &xm);
+            check(dx.data()[idx], (lp - lm) / (2.0 * eps as f64), &format!("input {idx}"));
+        }
     }
 
     #[test]

@@ -496,6 +496,53 @@ mod tests {
     }
 
     #[test]
+    fn bbox_regression_gradient_matches_fd_in_isolation() {
+        // The bbox term alone, FD-checked against `parts.bbox` (not the
+        // total): multiple positives across batch items exercise the
+        // 1/positives normalisation, a non-default lambda the weighting,
+        // and channels 0/1 vs 2/3 the sigmoid-vs-linear split.
+        let mut targets = DetectionTargets::empty(2, 3, 3, 2);
+        targets.add_object(0, 0, 1, 0, 0.2, 0.7, 0.5, 0.1);
+        targets.add_object(0, 2, 2, 1, 0.9, 0.4, 0.2, 0.6);
+        targets.add_object(1, 1, 0, 1, 0.5, 0.5, 0.8, 0.3);
+        assert_eq!(targets.positives(), 3);
+
+        let mut rng = TensorRng::new(33);
+        let conf = rng.uniform_tensor(Shape4::new(2, 1, 3, 3), -1.0, 1.0);
+        let class = rng.uniform_tensor(Shape4::new(2, 2, 3, 3), -1.0, 1.0);
+        let bbox = rng.uniform_tensor(Shape4::new(2, 4, 3, 3), -1.5, 1.5);
+        let loss = DetectionLoss { lambda_bbox: 2.5, ..DetectionLoss::default() };
+        let (_, _, _, dbbox) = loss.forward(&conf, &class, &bbox, &targets);
+
+        let bbox_term = |b: &Tensor| loss.forward(&conf, &class, b, &targets).0.bbox;
+        let eps = 1e-3f32;
+        let cells = 9;
+        let mut nonzero = 0usize;
+        for idx in 0..bbox.len() {
+            let mut bp = bbox.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = bbox.clone();
+            bm.data_mut()[idx] -= eps;
+            let num = (bbox_term(&bp) - bbox_term(&bm)) / (2.0 * eps);
+            assert!(
+                (dbbox.data()[idx] - num).abs() < 5e-3,
+                "bbox grad {idx}: analytic {} vs FD {num}",
+                dbbox.data()[idx]
+            );
+            // Perturbing the other heads must not move the bbox term.
+            let i = idx / (4 * cells);
+            let cell = idx % cells;
+            if targets.conf[i * cells + cell] <= 0.5 {
+                assert_eq!(dbbox.data()[idx], 0.0, "negative cell {idx} must not regress");
+            } else if dbbox.data()[idx] != 0.0 {
+                nonzero += 1;
+            }
+        }
+        // All 4 channels of all 3 positive cells carry gradient.
+        assert_eq!(nonzero, 12);
+    }
+
+    #[test]
     fn detection_loss_zero_gradient_at_perfect_prediction() {
         let targets = tiny_targets();
         // Perfect: conf logit huge at the positive cell, hugely negative

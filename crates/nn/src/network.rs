@@ -160,6 +160,26 @@ impl Network {
         g
     }
 
+    /// Backward pass that reports each layer as its gradients become
+    /// ready — deepest (output-side) layer first, the order backward
+    /// visits them. `on_ready(i, layer)` fires right after layer `i`'s
+    /// `backward` completes, so its parameter gradients are final and a
+    /// caller can start communicating them while shallower layers are
+    /// still backpropagating (the MLSL-style overlap of Sec. V). The
+    /// arithmetic is exactly [`Network::backward`]'s: gradients are
+    /// bit-identical whether or not a callback is attached.
+    pub fn backward_layered<F>(&mut self, grad_out: &Tensor, mut on_ready: F) -> Tensor
+    where
+        F: FnMut(usize, &dyn Layer),
+    {
+        let mut g = grad_out.clone();
+        for (i, l) in self.layers.iter_mut().enumerate().rev() {
+            g = l.backward(&g);
+            on_ready(i, &**l);
+        }
+        g
+    }
+
     /// Forward FLOPs per image for a given input shape (sum over layers).
     pub fn forward_flops_per_image(&self, input: Shape4) -> u64 {
         let mut s = input;
@@ -327,6 +347,51 @@ mod tests {
                 analytic[idx]
             );
         }
+    }
+
+    #[test]
+    fn backward_layered_is_bit_identical_and_deepest_first() {
+        let mut rng = TensorRng::new(21);
+        let mut net = tiny_net(&mut rng);
+        let x = rng.uniform_tensor(Shape4::new(2, 1, 8, 8), -1.0, 1.0);
+
+        // Reference: plain backward.
+        let y = net.forward(&x);
+        let dy = Tensor::filled(y.shape(), 0.5);
+        let gin_ref = net.backward(&dy);
+        let grads_ref = net.flat_grads();
+
+        // Layered backward must produce bit-identical gradients, visit
+        // every layer exactly once in reverse order, and expose each
+        // layer's *final* parameter gradients at callback time.
+        net.zero_grads();
+        let _ = net.forward(&x);
+        let mut order = Vec::new();
+        let mut seen_grads: Vec<(String, Vec<f32>)> = Vec::new();
+        let gin = net.backward_layered(&dy, |i, layer| {
+            order.push(i);
+            for b in layer.params() {
+                seen_grads.push((b.name.clone(), b.grad.data().to_vec()));
+            }
+        });
+        assert_eq!(gin.data(), gin_ref.data());
+        assert_eq!(net.flat_grads(), grads_ref);
+        let want_order: Vec<usize> = (0..net.layers().len()).rev().collect();
+        assert_eq!(order, want_order, "layers must be reported deepest first");
+        // Callback-time gradients equal the post-backward ones (they were
+        // final when reported); blocks arrive in reverse layer order.
+        let final_blocks: Vec<(String, Vec<f32>)> = net
+            .param_blocks()
+            .iter()
+            .map(|b| (b.name.clone(), b.grad.data().to_vec()))
+            .collect();
+        for (name, g) in &seen_grads {
+            let f = final_blocks.iter().find(|(n, _)| n == name).unwrap();
+            assert_eq!(g, &f.1, "block {name} changed after its ready callback");
+        }
+        assert_eq!(seen_grads.len(), final_blocks.len());
+        assert_eq!(seen_grads.first().unwrap().0, "fc.weight");
+        assert_eq!(seen_grads.last().unwrap().0, "conv1.bias");
     }
 
     #[test]

@@ -118,6 +118,16 @@ pub enum EventKind {
         /// Model compute time for the batch (s).
         compute_s: f64,
     },
+    /// One backward pass with bucketed gradient communication overlapped
+    /// behind it (the MLSL-style overlap of Sec. V / Das et al.). Span
+    /// duration is the backward+drain window; `hidden_s` is the part of
+    /// the communication that ran concurrently with backward compute.
+    Overlap {
+        /// Number of gradient buckets the flat gradient was split into.
+        buckets: u64,
+        /// Communication time hidden behind backward compute (s).
+        hidden_s: f64,
+    },
     /// A numeric-health alert (instant).
     Health(HealthAlert),
 }
@@ -135,6 +145,7 @@ impl EventKind {
             EventKind::Straggler { .. } => "straggler",
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::BatchDispatch { .. } => "batch_dispatch",
+            EventKind::Overlap { .. } => "overlap",
             EventKind::Health(_) => "nonfinite",
         }
     }
@@ -146,6 +157,7 @@ impl EventKind {
                 "engine"
             }
             EventKind::Allreduce { .. }
+            | EventKind::Overlap { .. }
             | EventKind::PsExchange { .. }
             | EventKind::PsService { .. }
             | EventKind::PsRespawn { .. } => "comm",
@@ -184,6 +196,10 @@ impl EventKind {
                 push_kv_u64(out, "batch", *batch, false);
                 push_kv_f64(out, "queue_s", *queue_s, false);
                 push_kv_f64(out, "compute_s", *compute_s, false);
+            }
+            EventKind::Overlap { buckets, hidden_s } => {
+                push_kv_u64(out, "buckets", *buckets, true);
+                push_kv_f64(out, "hidden_s", *hidden_s, false);
             }
             EventKind::Health(alert) => {
                 push_kv_str(out, "source", alert.source, true);

@@ -157,7 +157,7 @@ fn poisoned_gradient_is_caught_and_attributed_to_layer() {
         &cfg,
         ds_len,
         |seed| scidl_nn::arch::hep_small(&mut TensorRng::new(seed)),
-        move |model, indices| {
+        move |model: &mut scidl_nn::network::Network, indices: &[usize]| {
             let (loss, mut g) = scidl_core::task::hep_gradient(model, &ds, indices);
             g[poison_at] = f32::NAN;
             (loss, g)
