@@ -4,29 +4,108 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scidl_nn::{Conv2d, Deconv2d, Layer};
-use scidl_tensor::{gemm, im2col, ConvGeometry, Shape4, TensorRng, Transpose};
+use scidl_tensor::{gemm, gemm_unpacked, im2col, ConvGeometry, Shape4, TensorRng, Transpose};
+use std::time::{Duration, Instant};
+
+/// The conv-lowered GEMM shapes the packed kernel must win on: the
+/// paper's HEP 3x3 stack and climate encoder forwards (NN), the
+/// weight-gradient (NT) and backward-data (TN) shapes of the same
+/// layers, plus a square TT case. `(label, ta, tb, m, n, k)`.
+const CONV_SHAPES: &[(&str, Transpose, Transpose, usize, usize, usize)] = &[
+    ("hep_fwd_nn", Transpose::No, Transpose::No, 128, 196, 1152),
+    ("hep_fwd_wide_nn", Transpose::No, Transpose::No, 128, 784, 1152),
+    ("climate_enc_nn", Transpose::No, Transpose::No, 64, 3136, 576),
+    ("hep_wgrad_nt", Transpose::No, Transpose::Yes, 128, 1152, 196),
+    ("hep_bwddata_tn", Transpose::Yes, Transpose::No, 1152, 196, 128),
+    ("square_tt", Transpose::Yes, Transpose::Yes, 256, 256, 256),
+];
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    // Tall-skinny shapes typical of im2col-lowered convolutions.
-    for &(m, n, k) in &[(128usize, 196usize, 1152usize), (128, 784, 1152), (64, 3136, 576)] {
+    // All four transpose combinations: packing absorbs transposition, so
+    // NT/TN/TT must now run at NN-class GFLOP/s rather than the seed
+    // kernel's strided-read slow paths.
+    for &(label, ta, tb, m, n, k) in CONV_SHAPES {
         let mut rng = TensorRng::new(1);
         let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
         let mut out = vec![0.0f32; m * n];
         group.throughput(Throughput::Elements((2 * m * n * k) as u64));
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{m}x{n}x{k}")),
+            BenchmarkId::from_parameter(format!("{label}_{m}x{n}x{k}")),
             &(m, n, k),
             |bench, _| {
                 bench.iter(|| {
-                    gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut out);
+                    gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut out);
                     out[0]
                 })
             },
         );
     }
     group.finish();
+}
+
+fn bench_packed_vs_seed(c: &mut Criterion) {
+    // Criterion timings for both kernels, then the perf claim checked the
+    // same way as the allreduce scratch-reuse bench: warm-up + best-of-5
+    // bursts (min is the noise-robust statistic), asserting the packed
+    // kernel faster-or-equal on EVERY benched conv shape.
+    let mut group = c.benchmark_group("gemm_packed_vs_seed");
+    group.sample_size(10);
+    for &(label, ta, tb, m, n, k) in CONV_SHAPES {
+        let mut rng = TensorRng::new(7);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let mut out = vec![0.0f32; m * n];
+        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        group.bench_with_input(BenchmarkId::new("packed", label), &0, |bench, _| {
+            bench.iter(|| {
+                gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut out);
+                out[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seed", label), &0, |bench, _| {
+            bench.iter(|| {
+                gemm_unpacked(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut out);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+
+    for &(label, ta, tb, m, n, k) in CONV_SHAPES {
+        let mut rng = TensorRng::new(7);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let mut out = vec![0.0f32; m * n];
+        let mut burst = |packed: bool| -> Duration {
+            let start = Instant::now();
+            if packed {
+                gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut out);
+            } else {
+                gemm_unpacked(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut out);
+            }
+            start.elapsed()
+        };
+        let _ = burst(true); // warm-up (pack workspace + caches)
+        let _ = burst(false);
+        let best = |burst: &mut dyn FnMut(bool) -> Duration, packed: bool| {
+            (0..5).map(|_| burst(packed)).min().unwrap()
+        };
+        let packed = best(&mut burst, true);
+        let seed = best(&mut burst, false);
+        let gf = |d: Duration| 2.0 * (m * n * k) as f64 / d.as_secs_f64() / 1e9;
+        println!(
+            "gemm packed-vs-seed {label}: packed {:.2} GFLOP/s vs seed {:.2} GFLOP/s",
+            gf(packed),
+            gf(seed)
+        );
+        assert!(
+            packed < seed.mul_f64(1.10),
+            "packed GEMM must be faster-or-equal to the seed kernel on {label} \
+             ({m}x{n}x{k} {ta:?}{tb:?}): packed {packed:?} vs seed {seed:?}"
+        );
+    }
 }
 
 fn bench_im2col(c: &mut Criterion) {
@@ -125,6 +204,7 @@ fn bench_deconv_layer(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gemm,
+    bench_packed_vs_seed,
     bench_im2col,
     bench_conv_layers,
     bench_winograd_vs_direct,

@@ -20,6 +20,7 @@
 //! | `ablation_momentum` | momentum × asynchrony grid |
 //! | `resilience` | Sec. VIII-A — failure behaviour |
 //! | `serving` | dynamic-batching latency/throughput frontier (`scidl-serve`) |
+//! | `kernels` | per-node kernel GFLOP/s (packed GEMM vs seed baseline) |
 //!
 //! Criterion benches (`cargo bench -p scidl-bench`) measure the real Rust
 //! kernels (GEMM/conv/all-reduce) and the simulator itself.

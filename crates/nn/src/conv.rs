@@ -1,7 +1,9 @@
 //! 2-D convolution layer (im2col + GEMM lowering).
 
 use crate::layer::{InferScratch, Layer, ParamBlock};
-use scidl_tensor::{col2im, gemm, im2col, ConvGeometry, Shape4, Tensor, TensorRng, Transpose};
+use scidl_tensor::{
+    col2im, gemm, gemm_bias, im2col, ConvGeometry, Shape4, Tensor, TensorRng, Transpose, Workspace,
+};
 
 /// Forward-pass algorithm selection for [`Conv2d`] — the fast-convolution
 /// families the paper names as future work (Sec. VIII-A) are first-class
@@ -41,8 +43,6 @@ pub struct Conv2d {
     bias: ParamBlock,
     /// Cached input from the last forward (needed for weight gradients).
     cached_input: Option<Tensor>,
-    /// Scratch col buffer reused across batch items and iterations.
-    col: Vec<f32>,
 }
 
 impl Conv2d {
@@ -74,7 +74,6 @@ impl Conv2d {
             weight,
             bias,
             cached_input: None,
-            col: Vec::new(),
         }
     }
 
@@ -182,46 +181,33 @@ impl Layer for Conv2d {
                 .par_chunks_mut(item_out)
                 .enumerate()
                 .for_each(|(n, item)| {
-                    let mut col = vec![0.0f32; rows * cols];
+                    // Pooled per-worker scratch: the first item on each
+                    // worker allocates, every later item (and iteration)
+                    // reuses that worker's parked buffer. im2col writes
+                    // every element, so stale contents are fine.
+                    let mut col = Workspace::take(rows * cols);
                     im2col(&geo, input.item(n), &mut col);
-                    gemm(Transpose::No, Transpose::No, cout, cols, rows, 1.0, weight, &col, 0.0, item);
-                    for c in 0..cout {
-                        let b = bias[c];
-                        if b != 0.0 {
-                            for v in &mut item[c * cols..(c + 1) * cols] {
-                                *v += b;
-                            }
-                        }
-                    }
+                    // Bias broadcast fused into the GEMM epilogue: the
+                    // output plane is written once.
+                    gemm_bias(Transpose::No, Transpose::No, cout, cols, rows, weight, &col, bias, item);
                 });
         } else {
-            self.col.resize(rows * cols, 0.0);
+            let mut col = Workspace::take(rows * cols);
             for n in 0..ishape.n {
-                im2col(&geo, input.item(n), &mut self.col);
-                // out_plane = W (cout x rows) * col (rows x cols)
-                gemm(
+                im2col(&geo, input.item(n), &mut col);
+                // out_plane = bias ⊕ W (cout x rows) * col (rows x cols),
+                // bias broadcast fused into the epilogue sweep.
+                gemm_bias(
                     Transpose::No,
                     Transpose::No,
                     self.cout,
                     cols,
                     rows,
-                    1.0,
                     self.weight.value.data(),
-                    &self.col,
-                    0.0,
+                    &col,
+                    self.bias.value.data(),
                     out.item_mut(n),
                 );
-                // Broadcast bias over each output channel plane.
-                let plane = cols;
-                let item = out.item_mut(n);
-                for c in 0..self.cout {
-                    let b = self.bias.value.data()[c];
-                    if b != 0.0 {
-                        for v in &mut item[c * plane..(c + 1) * plane] {
-                            *v += b;
-                        }
-                    }
-                }
             }
         }
         self.cached_input = Some(input.clone());
@@ -256,28 +242,20 @@ impl Layer for Conv2d {
         scratch.col.resize(rows * cols, 0.0);
         for n in 0..ishape.n {
             im2col(&geo, input.item(n), &mut scratch.col);
-            gemm(
+            // Same fused-bias GEMM as forward — required for the
+            // bit-identity guarantee (fusing changes which sweep writes
+            // the bias, so both paths must fuse identically).
+            gemm_bias(
                 Transpose::No,
                 Transpose::No,
                 self.cout,
                 cols,
                 rows,
-                1.0,
                 self.weight.value.data(),
                 &scratch.col,
-                0.0,
+                self.bias.value.data(),
                 out.item_mut(n),
             );
-            let plane = cols;
-            let item = out.item_mut(n);
-            for c in 0..self.cout {
-                let b = self.bias.value.data()[c];
-                if b != 0.0 {
-                    for v in &mut item[c * plane..(c + 1) * plane] {
-                        *v += b;
-                    }
-                }
-            }
         }
         out
     }
@@ -293,15 +271,18 @@ impl Layer for Conv2d {
         assert_eq!(grad_out.shape(), oshape, "{}: grad_out shape mismatch", self.name);
 
         let (rows, cols) = (geo.col_rows(), geo.col_cols());
-        self.col.resize(rows * cols, 0.0);
-        let mut dcol = vec![0.0f32; rows * cols];
+        // Pooled scratch for both the re-lowered input and the col-space
+        // gradient: zero steady-state allocations (im2col overwrites col
+        // fully; dcol is fully written by the beta=0 GEMM below).
+        let mut col = Workspace::take(rows * cols);
+        let mut dcol = Workspace::take(rows * cols);
         let mut grad_in = Tensor::zeros(ishape);
 
         for n in 0..ishape.n {
             let dy = grad_out.item(n); // (cout x cols)
 
             // Weight gradient: dW += dY * col^T.
-            im2col(&geo, input.item(n), &mut self.col);
+            im2col(&geo, input.item(n), &mut col);
             gemm(
                 Transpose::No,
                 Transpose::Yes,
@@ -310,7 +291,7 @@ impl Layer for Conv2d {
                 cols,
                 1.0,
                 dy,
-                &self.col,
+                &col,
                 1.0,
                 self.weight.grad.data_mut(),
             );

@@ -9,7 +9,9 @@
 //! forward), so the two layers share all their kernels.
 
 use crate::layer::{InferScratch, Layer, ParamBlock};
-use scidl_tensor::{col2im, gemm, im2col, ConvGeometry, Shape4, Tensor, TensorRng, Transpose};
+use scidl_tensor::{
+    col2im, gemm, im2col, ConvGeometry, Shape4, Tensor, TensorRng, Transpose, Workspace,
+};
 
 /// A 2-D transposed convolution with square kernel and uniform stride.
 ///
@@ -27,7 +29,6 @@ pub struct Deconv2d {
     weight: ParamBlock,
     bias: ParamBlock,
     cached_input: Option<Tensor>,
-    col: Vec<f32>,
 }
 
 impl Deconv2d {
@@ -48,7 +49,7 @@ impl Deconv2d {
             rng.he_tensor(Shape4::new(cin, cout, k, k), fan_in),
         );
         let bias = ParamBlock::new(format!("{name}.bias"), Tensor::zeros(Shape4::flat(cout)));
-        Self { name, cin, cout, k, stride, pad, weight, bias, cached_input: None, col: Vec::new() }
+        Self { name, cin, cout, k, stride, pad, weight, bias, cached_input: None }
     }
 
     /// Output spatial size for a given input spatial size.
@@ -93,7 +94,9 @@ impl Layer for Deconv2d {
         let oshape = self.out_shape(ishape);
         let mut out = Tensor::zeros(oshape);
         let (rows, cols) = (geo.col_rows(), geo.col_cols()); // rows = cout*k*k, cols = h*w
-        self.col.resize(rows * cols, 0.0);
+        // Pooled scratch: the beta=0 GEMM overwrites every element, so the
+        // stale pooled contents never leak into the output.
+        let mut col = Workspace::take(rows * cols);
 
         for n in 0..ishape.n {
             // col = W^T (cout*k*k x cin) * x (cin x h*w)
@@ -107,10 +110,10 @@ impl Layer for Deconv2d {
                 self.weight.value.data(),
                 input.item(n),
                 0.0,
-                &mut self.col,
+                &mut col,
             );
             // Scatter into the (zeroed) output plane.
-            col2im(&geo, &self.col, out.item_mut(n));
+            col2im(&geo, &col, out.item_mut(n));
             // Bias per output channel.
             let plane = oshape.plane_len();
             let item = out.item_mut(n);
@@ -174,12 +177,13 @@ impl Layer for Deconv2d {
         assert_eq!(grad_out.shape(), oshape, "{}: grad_out shape mismatch", self.name);
 
         let (rows, cols) = (geo.col_rows(), geo.col_cols());
-        self.col.resize(rows * cols, 0.0);
+        // im2col overwrites the whole pooled buffer each item.
+        let mut col = Workspace::take(rows * cols);
         let mut grad_in = Tensor::zeros(ishape);
 
         for n in 0..ishape.n {
             // The backward-data of a deconv is a plain convolution of dY.
-            im2col(&geo, grad_out.item(n), &mut self.col);
+            im2col(&geo, grad_out.item(n), &mut col);
             // dX = W (cin x cout*k*k) * col (cout*k*k x h*w)
             gemm(
                 Transpose::No,
@@ -189,7 +193,7 @@ impl Layer for Deconv2d {
                 rows,
                 1.0,
                 self.weight.value.data(),
-                &self.col,
+                &col,
                 0.0,
                 grad_in.item_mut(n),
             );
@@ -202,7 +206,7 @@ impl Layer for Deconv2d {
                 cols,
                 1.0,
                 input.item(n),
-                &self.col,
+                &col,
                 1.0,
                 self.weight.grad.data_mut(),
             );

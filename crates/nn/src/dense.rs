@@ -6,7 +6,7 @@
 //! the model stays cheap to all-reduce at scale.
 
 use crate::layer::{InferScratch, Layer, ParamBlock};
-use scidl_tensor::{gemm, Shape4, Tensor, TensorRng, Transpose};
+use scidl_tensor::{gemm, gemm_bias_cols, Shape4, Tensor, TensorRng, Transpose};
 
 /// Dense layer `y = W x + b`, flattening each batch item.
 ///
@@ -55,25 +55,19 @@ impl Layer for Dense {
         let os = self.out_shape(input.shape());
         let n = input.shape().n;
         let mut out = Tensor::zeros(os);
-        // Y (n x out) = X (n x in) * W^T (in x out)
-        gemm(
+        // Y (n x out) = b ⊕ X (n x in) * W^T (in x out); the per-column
+        // bias broadcast is fused into the GEMM epilogue (one C sweep).
+        gemm_bias_cols(
             Transpose::No,
             Transpose::Yes,
             n,
             self.output_len,
             self.input_len,
-            1.0,
             input.data(),
             self.weight.value.data(),
-            0.0,
+            self.bias.value.data(),
             out.data_mut(),
         );
-        for i in 0..n {
-            let row = &mut out.data_mut()[i * self.output_len..(i + 1) * self.output_len];
-            for (v, &b) in row.iter_mut().zip(self.bias.value.data()) {
-                *v += b;
-            }
-        }
         self.cached_input = Some(input.clone());
         out
     }
@@ -82,24 +76,18 @@ impl Layer for Dense {
         let os = self.out_shape(input.shape());
         let n = input.shape().n;
         let mut out = Tensor::zeros(os);
-        gemm(
+        // Same fused path as forward, keeping infer bit-identical.
+        gemm_bias_cols(
             Transpose::No,
             Transpose::Yes,
             n,
             self.output_len,
             self.input_len,
-            1.0,
             input.data(),
             self.weight.value.data(),
-            0.0,
+            self.bias.value.data(),
             out.data_mut(),
         );
-        for i in 0..n {
-            let row = &mut out.data_mut()[i * self.output_len..(i + 1) * self.output_len];
-            for (v, &b) in row.iter_mut().zip(self.bias.value.data()) {
-                *v += b;
-            }
-        }
         out
     }
 

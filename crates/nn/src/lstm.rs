@@ -12,7 +12,7 @@
 
 use crate::layer::ParamBlock;
 use crate::network::Model;
-use scidl_tensor::{gemm, Shape4, Tensor, TensorRng, Transpose};
+use scidl_tensor::{gemm, gemm_bias_cols, Shape4, Tensor, TensorRng, Transpose, Workspace};
 
 /// Per-timestep cache for BPTT.
 struct StepCache {
@@ -100,15 +100,12 @@ impl Lstm {
             assert_eq!(x.shape().n, n, "batch size must be constant over the sequence");
             assert_eq!(x.shape().item_len(), self.input, "input width mismatch");
 
-            // z (n x 4h) = x W_x^T + h W_h^T + b
-            let mut z = vec![0.0f32; n * h4];
-            gemm(Transpose::No, Transpose::Yes, n, h4, self.input, 1.0, x.data(), self.w_x.value.data(), 0.0, &mut z);
+            // z (n x 4h) = b ⊕ x W_x^T + h W_h^T — the gate-bias broadcast
+            // is fused into the first GEMM's epilogue; the pooled scratch
+            // keeps per-step allocations off the steady-state path.
+            let mut z = Workspace::take(n * h4);
+            gemm_bias_cols(Transpose::No, Transpose::Yes, n, h4, self.input, x.data(), self.w_x.value.data(), self.b.value.data(), &mut z);
             gemm(Transpose::No, Transpose::Yes, n, h4, self.hidden, 1.0, &h, self.w_h.value.data(), 1.0, &mut z);
-            for row in z.chunks_mut(h4) {
-                for (v, &bv) in row.iter_mut().zip(self.b.value.data()) {
-                    *v += bv;
-                }
-            }
 
             let hsz = self.hidden;
             let mut gi = vec![0.0f32; n * hsz];
@@ -168,13 +165,15 @@ impl Lstm {
         let hsz = self.hidden;
         let h4 = 4 * hsz;
 
-        let mut dh_next = vec![0.0f32; n * hsz];
-        let mut dc_next = vec![0.0f32; n * hsz];
+        let mut dh_next = Workspace::take_zeroed(n * hsz);
+        let mut dc_next = Workspace::take_zeroed(n * hsz);
         let mut dxs = vec![Tensor::zeros(Shape4::new(0, 0, 0, 0)); t_steps];
 
         for t in (0..t_steps).rev() {
             let cache = &self.caches[t];
-            let mut dz = vec![0.0f32; n * h4];
+            // Fully written below (all four gate blocks, every batch row),
+            // so stale pooled contents are fine.
+            let mut dz = Workspace::take(n * h4);
             for bi in 0..n {
                 for j in 0..hsz {
                     let idx = bi * hsz + j;
@@ -211,7 +210,8 @@ impl Lstm {
             let mut dx = vec![0.0f32; n * self.input];
             gemm(Transpose::No, Transpose::No, n, self.input, h4, 1.0, &dz, self.w_x.value.data(), 0.0, &mut dx);
             dxs[t] = Tensor::from_vec(Shape4::new(n, self.input, 1, 1), dx);
-            let mut dh_prev = vec![0.0f32; n * hsz];
+            // beta=0 fully overwrites the pooled buffer.
+            let mut dh_prev = Workspace::take(n * hsz);
             gemm(Transpose::No, Transpose::No, n, hsz, h4, 1.0, &dz, self.w_h.value.data(), 0.0, &mut dh_prev);
             dh_next = dh_prev;
         }

@@ -7,8 +7,13 @@
 //!
 //! * a contiguous, `f32`, NCHW [`Tensor`] type with shape/stride machinery,
 //! * rayon-parallel elementwise and reduction kernels,
-//! * a blocked, parallel SGEMM ([`gemm`]) tuned for the tall-skinny shapes
-//!   produced by `im2col` convolution lowering,
+//! * a packed, register-tiled, cache-blocked parallel SGEMM ([`gemm`])
+//!   tuned for the tall-skinny shapes produced by `im2col` convolution
+//!   lowering, with fused bias epilogues ([`gemm_bias`],
+//!   [`gemm_bias_cols`]) and the pre-packing kernel retained as a
+//!   baseline ([`gemm_unpacked`]),
+//! * a thread-local scratch-buffer pool ([`Workspace`]) that keeps the
+//!   heap allocator off the steady-state training path,
 //! * [`im2col`]/[`col2im`] lowering used by the convolution and
 //!   deconvolution layers in `scidl-nn`.
 //!
@@ -36,8 +41,10 @@ pub mod rng;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
+pub mod workspace;
 
-pub use gemm::{gemm, gemm_bias, Transpose};
+pub use gemm::{gemm, gemm_bias, gemm_bias_cols, gemm_unpacked, Transpose};
+pub use workspace::{Workspace, WsBuf};
 pub use im2col::{col2im, im2col, ConvGeometry};
 pub use rng::TensorRng;
 pub use shape::Shape4;

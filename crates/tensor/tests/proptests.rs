@@ -3,7 +3,10 @@
 //! elementwise kernels.
 
 use proptest::prelude::*;
-use scidl_tensor::{col2im, gemm, im2col, ConvGeometry, Shape4, Tensor, Transpose};
+use scidl_tensor::{
+    col2im, gemm, gemm_bias, gemm_bias_cols, gemm_unpacked, im2col, ConvGeometry, Shape4, Tensor,
+    Transpose,
+};
 
 fn small_f32() -> impl Strategy<Value = f32> {
     (-100i32..100).prop_map(|v| v as f32 / 8.0)
@@ -111,6 +114,143 @@ proptest! {
                 prop_assert!((x - y).abs() < 1e-3, "{ta:?}{tb:?} c[{i}]: {x} vs {y}");
             }
         }
+    }
+
+    #[test]
+    fn packed_gemm_matches_reference_on_ragged_blocked_shapes(
+        m in 9usize..48,
+        n in 9usize..48,
+        k in 200usize..280,
+        seed in any::<u64>(),
+        ta_flag in any::<bool>(),
+        tb_flag in any::<bool>(),
+    ) {
+        // m, n are rarely multiples of the 8×8 register tile and k
+        // straddles the KC=256 cache block, so every pack-padding branch
+        // and the multi-slab accumulation of the packed path are
+        // exercised (m*n*k ≥ 9·9·200 is far above the small-problem
+        // fallback threshold).
+        let ta = if ta_flag { Transpose::Yes } else { Transpose::No };
+        let tb = if tb_flag { Transpose::Yes } else { Transpose::No };
+        let mut rng = scidl_tensor::TensorRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_range(-2.0, 2.0) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_range(-2.0, 2.0) as f32).collect();
+        let mut c = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+        gemm_ref(ta, tb, m, n, k, &a, &b, &mut c_ref);
+        let tol = 1e-4 * (k as f32).sqrt() * 16.0;
+        for (x, y) in c.iter().zip(&c_ref) {
+            prop_assert!((x - y).abs() < tol, "{ta:?}{tb:?} m={m} n={n} k={k}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn packed_gemm_nonfinite_matches_reference_on_ragged_shapes(
+        m in 9usize..24,
+        n in 9usize..24,
+        k in 60usize..90,
+        seed in any::<u64>(),
+        ta_flag in any::<bool>(),
+        tb_flag in any::<bool>(),
+    ) {
+        // Same IEEE-754 palette as the small-shape property, but sized to
+        // take the packed register-tiled path with ragged tiles: pack
+        // zero-padding must never launder a NaN/Inf, and zeros in either
+        // operand must not mask non-finite partners (no-zero-skip rule).
+        let ta = if ta_flag { Transpose::Yes } else { Transpose::No };
+        let tb = if tb_flag { Transpose::Yes } else { Transpose::No };
+        let palette = [
+            0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY,
+            1.0, -1.0, 0.5, -2.0, 1.5,
+        ];
+        let mut s = seed | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            palette[(s % palette.len() as u64) as usize]
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let mut c = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        gemm(ta, tb, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+        gemm_ref(ta, tb, m, n, k, &a, &b, &mut c_ref);
+        for (i, (x, y)) in c.iter().zip(&c_ref).enumerate() {
+            if y.is_nan() {
+                prop_assert!(x.is_nan(), "{ta:?}{tb:?} c[{i}]: expected NaN, got {x}");
+            } else if y.is_infinite() {
+                prop_assert!(*x == *y, "{ta:?}{tb:?} c[{i}]: expected {y}, got {x}");
+            } else {
+                prop_assert!((x - y).abs() < 1e-3, "{ta:?}{tb:?} c[{i}]: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_gemm_agrees_with_unpacked_seed_kernel(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..200,
+        seed in any::<u64>(),
+        ta_flag in any::<bool>(),
+        tb_flag in any::<bool>(),
+    ) {
+        // Differential guard: the packed kernel and the retained
+        // pre-packing baseline must agree to f32 rounding over the whole
+        // shape space, including shapes that fall back to the unpacked
+        // small-problem path (where they are identical code).
+        let ta = if ta_flag { Transpose::Yes } else { Transpose::No };
+        let tb = if tb_flag { Transpose::Yes } else { Transpose::No };
+        let mut rng = scidl_tensor::TensorRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_range(-2.0, 2.0) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_range(-2.0, 2.0) as f32).collect();
+        let c0: Vec<f32> = (0..m * n).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let mut c = c0.clone();
+        let mut c_seed = c0;
+        gemm(ta, tb, m, n, k, 0.5, &a, &b, 1.5, &mut c);
+        gemm_unpacked(ta, tb, m, n, k, 0.5, &a, &b, 1.5, &mut c_seed);
+        let tol = 1e-4 * (k as f32).sqrt() * 16.0;
+        for (x, y) in c.iter().zip(&c_seed) {
+            prop_assert!((x - y).abs() < tol, "{ta:?}{tb:?} m={m} n={n} k={k}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fused_bias_epilogues_match_two_pass(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        // gemm_bias / gemm_bias_cols must equal "fill C with the
+        // broadcast bias, then gemm with beta=1" bit-for-bit: the fused
+        // epilogue only changes *who* writes the init sweep, never the
+        // accumulation order.
+        let mut rng = scidl_tensor::TensorRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform_range(-2.0, 2.0) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform_range(-2.0, 2.0) as f32).collect();
+
+        let row_bias: Vec<f32> = (0..m).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let mut fused = vec![0.0f32; m * n];
+        gemm_bias(Transpose::No, Transpose::No, m, n, k, &a, &b, &row_bias, &mut fused);
+        let mut two_pass = vec![0.0f32; m * n];
+        for (row, &bv) in two_pass.chunks_mut(n).zip(&row_bias) {
+            row.fill(bv);
+        }
+        gemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 1.0, &mut two_pass);
+        prop_assert_eq!(&fused, &two_pass);
+
+        let col_bias: Vec<f32> = (0..n).map(|_| rng.uniform_range(-1.0, 1.0) as f32).collect();
+        let mut fused = vec![0.0f32; m * n];
+        gemm_bias_cols(Transpose::No, Transpose::Yes, m, n, k, &a, &b, &col_bias, &mut fused);
+        let mut two_pass = vec![0.0f32; m * n];
+        for row in two_pass.chunks_mut(n) {
+            row.copy_from_slice(&col_bias);
+        }
+        gemm(Transpose::No, Transpose::Yes, m, n, k, 1.0, &a, &b, 1.0, &mut two_pass);
+        prop_assert_eq!(&fused, &two_pass);
     }
 
     #[test]

@@ -26,6 +26,28 @@ pub mod prelude {
         }
     }
 
+    /// `into_par_iter` over owned collections/ranges (sequential here).
+    ///
+    /// Real rayon exposes this for `Range<usize>` (used by the GEMM tile
+    /// partitioning); the stand-in just returns the range itself, which
+    /// is already a sequential iterator.
+    pub trait IntoParallelIterator {
+        /// Element type of the iterator.
+        type Item;
+        /// Sequential iterator standing in for the parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Sequential stand-in for `rayon`'s `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
     /// `par_iter_mut`/`par_chunks_mut` over mutable slices (sequential).
     pub trait ParallelSliceMut<T> {
         /// Sequential stand-in for `rayon`'s parallel iterator.
