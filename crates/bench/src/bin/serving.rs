@@ -1,29 +1,50 @@
 //! Serving benchmark — the latency/throughput frontier of dynamic
-//! batching versus batch-1 on one KNL node running the HEP classifier.
+//! batching versus batch-1 on one KNL node running the HEP classifier,
+//! plus the resilience degradation frontier under chaos.
 //!
 //! Sweeps offered load (open-loop Poisson arrivals at fractions and
 //! multiples of the node's batch-32 saturated rate) × batching policy
 //! through the deterministic virtual-time simulator
 //! (`scidl-serve::sim`), so a fixed seed reproduces every number bit for
-//! bit. Emits the frontier as a markdown table on stdout and as
-//! `results/serving.csv`.
+//! bit. Each point is run twice: clean, and under a standard serving
+//! chaos plan (worker crash + straggler window, 250 ms deadlines), so
+//! the frontier carries shed-rate and p99-under-chaos columns. Emits the
+//! frontier as a markdown table on stdout and as `results/serving.csv`.
 //!
 //! The acceptance check: at saturating offered load, dynamic batching
 //! must sustain ≥2× the throughput of batch-1 (the small-batch
 //! efficiency cliff of Sec. II-A, exploited instead of suffered), with
 //! p99 latency reported for both policies.
 //!
+//! With `--faults` the bench instead sweeps offered load × fault
+//! severity (clean → light → heavy → storm) on a two-worker pool and
+//! reports goodput, p99 and shed rate per cell — the degradation
+//! frontier — written to `results/serving_chaos.csv`. Acceptance there:
+//! every cell resolves all of its requests (exactly-once accounting),
+//! goodput stays positive under every fault level, and the storm cell
+//! replays bit-identically.
+//!
 //! ```text
-//! cargo run --release -p scidl-bench --bin serving [--smoke]
+//! cargo run --release -p scidl-bench --bin serving [--smoke] [--faults]
 //! ```
 
 use scidl_bench::{csv, finish_trace, fnum, markdown_table, trace_from_args};
+use scidl_cluster::faults::FaultPlan;
 use scidl_serve::queue::BatchPolicy;
-use scidl_serve::sim::{simulate, ServiceModel, SimConfig};
+use scidl_serve::sim::{simulate, ServiceModel, SimConfig, SimOutcome};
 use scidl_serve::PoissonArrivals;
 use std::time::Duration;
 
 const SEED: u64 = 4242;
+/// Relative deadline attached to every request in chaos runs.
+const CHAOS_DEADLINE_S: f64 = 0.25;
+
+/// The standard single-node chaos plan the frontier's "under chaos"
+/// columns are measured against: one mid-batch crash early in the run
+/// and a 3× straggler window.
+fn frontier_chaos() -> FaultPlan {
+    FaultPlan::none().with_worker_crash(0, 3, 0.05).with_slow_worker(0, 10, 20, 3.0)
+}
 
 struct Point {
     offered: f64,
@@ -34,6 +55,9 @@ struct Point {
     p50_ms: f64,
     p99_ms: f64,
     queue_share: f64,
+    shed_rate: f64,
+    chaos_p99_ms: f64,
+    chaos_shed_rate: f64,
 }
 
 fn run_point(
@@ -45,9 +69,19 @@ fn run_point(
     seed: u64,
 ) -> Point {
     let arrivals: Vec<f64> = PoissonArrivals::new(seed, offered, n).collect();
-    let cfg = SimConfig { workers: 1, queue_capacity: 128, policy };
+    let cfg = SimConfig::new(1, 128, policy);
     let out = simulate(model, &arrivals, &cfg);
     let total = out.recorder.total_summary().expect("at least one request served");
+
+    // The same schedule under the standard chaos plan, with deadlines so
+    // overload degrades into typed sheds instead of unbounded queueing.
+    let mut chaos_cfg = cfg.clone();
+    chaos_cfg.faults = frontier_chaos();
+    chaos_cfg.deadline_secs = Some(CHAOS_DEADLINE_S);
+    let chaos = simulate(model, &arrivals, &chaos_cfg);
+    assert_eq!(chaos.offered(), n, "chaos run must resolve every request");
+    let chaos_p99_ms = chaos.recorder.total_summary().map_or(f64::NAN, |s| s.p99 * 1e3);
+
     Point {
         offered,
         policy: policy_name,
@@ -57,24 +91,27 @@ fn run_point(
         p50_ms: total.p50 * 1e3,
         p99_ms: total.p99 * 1e3,
         queue_share: out.recorder.queue_share().unwrap_or(0.0),
+        shed_rate: out.shed_rate(),
+        chaos_p99_ms,
+        chaos_shed_rate: chaos.shed_rate(),
     }
 }
 
-fn main() {
-    let trace_path = trace_from_args();
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let n = if smoke { 400 } else { 2000 };
-
-    let model = ServiceModel::hep();
+fn frontier(model: &ServiceModel, n: usize) {
     let r1 = model.saturated_rate(1);
     let r32 = model.saturated_rate(32);
     println!("serving frontier: HEP classifier on one KNL node (seed {SEED}, {n} requests/point)\n");
     println!(
-        "node capacity: batch-1 {} req/s ({} ms/image), batch-32 {} req/s ({} ms/image)\n",
+        "node capacity: batch-1 {} req/s ({} ms/image), batch-32 {} req/s ({} ms/image)",
         fnum(r1, 1),
         fnum(1e3 / r1, 2),
         fnum(r32, 1),
         fnum(1e3 / r32, 2)
+    );
+    println!(
+        "chaos columns: worker crash after 3 batches (50 ms respawn) + 3x straggler \
+         (batches 10..20), {} ms deadlines\n",
+        fnum(CHAOS_DEADLINE_S * 1e3, 0)
     );
 
     let dynamic = BatchPolicy::dynamic(32, Duration::from_millis(10));
@@ -86,7 +123,7 @@ fn main() {
     let mut points = Vec::new();
     for (li, &f) in load_factors.iter().enumerate() {
         for (policy, name) in policies {
-            points.push(run_point(&model, policy, name, f * r1, n, SEED + li as u64));
+            points.push(run_point(model, policy, name, f * r1, n, SEED + li as u64));
         }
     }
 
@@ -102,13 +139,28 @@ fn main() {
                 format!("{} ms", fnum(p.p50_ms, 2)),
                 format!("{} ms", fnum(p.p99_ms, 2)),
                 format!("{}%", fnum(100.0 * p.queue_share, 0)),
+                format!("{}%", fnum(100.0 * p.shed_rate, 1)),
+                format!("{} ms", fnum(p.chaos_p99_ms, 2)),
+                format!("{}%", fnum(100.0 * p.chaos_shed_rate, 1)),
             ]
         })
         .collect();
     println!(
         "{}",
         markdown_table(
-            &["offered", "policy", "served", "shed", "throughput", "p50", "p99", "queue share"],
+            &[
+                "offered",
+                "policy",
+                "served",
+                "shed",
+                "throughput",
+                "p50",
+                "p99",
+                "queue share",
+                "shed rate",
+                "p99 chaos",
+                "shed chaos",
+            ],
             &rows
         )
     );
@@ -125,11 +177,26 @@ fn main() {
                 fnum(p.p50_ms, 4),
                 fnum(p.p99_ms, 4),
                 fnum(p.queue_share, 4),
+                fnum(p.shed_rate, 4),
+                fnum(p.chaos_p99_ms, 4),
+                fnum(p.chaos_shed_rate, 4),
             ]
         })
         .collect();
     let csv_text = csv(
-        &["offered_rps", "policy", "served", "shed", "throughput_rps", "p50_ms", "p99_ms", "queue_share"],
+        &[
+            "offered_rps",
+            "policy",
+            "served",
+            "shed",
+            "throughput_rps",
+            "p50_ms",
+            "p99_ms",
+            "queue_share",
+            "shed_rate",
+            "chaos_p99_ms",
+            "chaos_shed_rate",
+        ],
         &csv_rows,
     );
     std::fs::create_dir_all("results").ok();
@@ -169,6 +236,160 @@ fn main() {
         "acceptance: dynamic batching must sustain ≥2× batch-1 at saturation, got {speedup:.2}×"
     );
     println!("  acceptance: ≥2× sustained throughput — PASS");
+}
+
+/// One fault-severity level of the degradation frontier: its chaos plan
+/// on a two-worker pool, plus the swap schedule it replays.
+fn fault_level(name: &'static str) -> (FaultPlan, Vec<f64>) {
+    match name {
+        "clean" => (FaultPlan::none(), Vec::new()),
+        "light" => (FaultPlan::none().with_worker_crash(0, 3, 0.05), Vec::new()),
+        "heavy" => (
+            FaultPlan::none()
+                .with_worker_crash(0, 3, 0.05)
+                .with_worker_crash(1, 6, 0.1)
+                .with_slow_worker(0, 5, 15, 3.0),
+            Vec::new(),
+        ),
+        "storm" => (
+            FaultPlan::none()
+                .with_worker_crash(0, 2, 0.1)
+                .with_worker_crash(1, 4, 0.1)
+                .with_worker_crash(0, 8, 0.2)
+                .with_slow_worker(0, 3, 12, 4.0)
+                .with_slow_worker(1, 6, 18, 3.0)
+                .with_corrupt_swap(0)
+                .with_corrupt_swap(1)
+                .with_corrupt_swap(2),
+            vec![0.05, 0.1, 0.15, 0.2, 0.25],
+        ),
+        other => unreachable!("unknown fault level {other}"),
+    }
+}
+
+fn chaos_cell(model: &ServiceModel, offered: f64, level: &'static str, n: usize) -> SimOutcome {
+    let arrivals: Vec<f64> = PoissonArrivals::new(SEED, offered, n).collect();
+    let (faults, swap_schedule) = fault_level(level);
+    let mut cfg =
+        SimConfig::new(2, 128, BatchPolicy::dynamic(32, Duration::from_millis(10)));
+    cfg.deadline_secs = Some(CHAOS_DEADLINE_S);
+    cfg.breaker_threshold = 3;
+    cfg.faults = faults;
+    cfg.swap_schedule = swap_schedule;
+    simulate(model, &arrivals, &cfg)
+}
+
+fn degradation_frontier(model: &ServiceModel, n: usize) {
+    let r1 = model.saturated_rate(1);
+    println!(
+        "serving degradation frontier: offered load x fault severity, 2 workers, \
+         dynamic-32, {} ms deadlines (seed {SEED}, {n} requests/cell)\n",
+        fnum(CHAOS_DEADLINE_S * 1e3, 0)
+    );
+
+    let levels = ["clean", "light", "heavy", "storm"];
+    let load_factors = [0.5, 1.5, 4.0];
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &f in &load_factors {
+        let offered = f * r1;
+        for level in levels {
+            let out = chaos_cell(model, offered, level, n);
+            assert_eq!(
+                out.offered(),
+                n,
+                "every request must resolve exactly once ({level} @ {offered:.0} req/s)"
+            );
+            assert!(
+                out.throughput() > 0.0,
+                "goodput must stay positive under {level} @ {offered:.0} req/s"
+            );
+            let p99_ms = out.recorder.total_summary().map_or(f64::NAN, |s| s.p99 * 1e3);
+            rows.push(vec![
+                format!("{} req/s", fnum(offered, 0)),
+                level.to_string(),
+                out.completed.to_string(),
+                format!("{}%", fnum(100.0 * out.shed_rate(), 1)),
+                out.crashes.to_string(),
+                out.requeued.to_string(),
+                out.lost.to_string(),
+                format!("{} req/s", fnum(out.throughput(), 1)),
+                format!("{} ms", fnum(p99_ms, 2)),
+                if out.breaker_opened { "open".into() } else { "-".into() },
+            ]);
+            csv_rows.push(vec![
+                fnum(offered, 3),
+                level.to_string(),
+                out.completed.to_string(),
+                out.rejected.to_string(),
+                out.expired.to_string(),
+                out.lost.to_string(),
+                out.crashes.to_string(),
+                out.requeued.to_string(),
+                fnum(out.throughput(), 3),
+                fnum(p99_ms, 4),
+                fnum(out.shed_rate(), 4),
+                (out.breaker_opened as u8).to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "offered", "faults", "served", "shed rate", "crashes", "requeued", "lost",
+                "goodput", "p99", "breaker",
+            ],
+            &rows
+        )
+    );
+
+    let csv_text = csv(
+        &[
+            "offered_rps",
+            "fault_level",
+            "served",
+            "rejected",
+            "expired",
+            "lost",
+            "crashes",
+            "requeued",
+            "goodput_rps",
+            "p99_ms",
+            "shed_rate",
+            "breaker_opened",
+        ],
+        &csv_rows,
+    );
+    std::fs::create_dir_all("results").ok();
+    match std::fs::write("results/serving_chaos.csv", &csv_text) {
+        Ok(()) => println!("degradation frontier written to results/serving_chaos.csv"),
+        Err(e) => println!("(could not write results/serving_chaos.csv: {e})"),
+    }
+
+    // --- acceptance: chaos is deterministic and never zeroes goodput ---
+    let a = chaos_cell(model, 1.5 * r1, "storm", n);
+    let b = chaos_cell(model, 1.5 * r1, "storm", n);
+    assert_eq!(a.served_ids, b.served_ids, "storm cell must replay bit-identically");
+    assert_eq!(a.lost_ids, b.lost_ids);
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert!(a.breaker_opened, "three corrupt swaps at threshold 3 must open the breaker");
+    println!("\n  acceptance: exactly-once accounting, positive goodput, deterministic storm — PASS");
+}
+
+fn main() {
+    let trace_path = trace_from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let faults = std::env::args().any(|a| a == "--faults");
+    let n = if smoke { 400 } else { 2000 };
+
+    let model = ServiceModel::hep();
+    if faults {
+        degradation_frontier(&model, n);
+    } else {
+        frontier(&model, n);
+    }
 
     if let Some(path) = trace_path {
         finish_trace(&path);

@@ -79,6 +79,49 @@ pub struct MessageDelay {
     pub secs: f64,
 }
 
+/// A serving worker dying after it has dispatched some batches. The
+/// threaded server's supervisor catches the panic, re-queues the
+/// worker's in-flight requests and respawns the slot with exponential
+/// backoff; the virtual-time serving simulator charges `respawn_secs`
+/// before the slot takes batches again.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkerCrash {
+    /// Which serving worker slot dies.
+    pub worker: usize,
+    /// The worker dies mid-batch while dispatching its
+    /// `after_batches`-th batch (0 = its very first).
+    pub after_batches: u64,
+    /// Simulator: virtual seconds before the slot serves again. The
+    /// threaded supervisor respawns on its own backoff schedule, so it
+    /// ignores this.
+    pub respawn_secs: f64,
+}
+
+/// A serving worker running slow for a window of its batches (thermal
+/// throttling, a noisy neighbour): the serving analogue of
+/// [`Straggler`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlowWorker {
+    /// Which serving worker slot is slow.
+    pub worker: usize,
+    /// First affected batch of that worker (inclusive).
+    pub from_batch: u64,
+    /// Last affected batch (exclusive).
+    pub to_batch: u64,
+    /// Compute-time multiplier (`3.0` = three times as slow). Must be ≥ 1.
+    pub factor: f64,
+}
+
+/// A hot-swap attempt delivering a corrupt checkpoint (bit rot, a torn
+/// write from a crashed trainer, NaN-poisoned parameters). The registry
+/// must reject it before publication; enough consecutive corrupt swaps
+/// open the circuit breaker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorruptSwap {
+    /// Index of the corrupt swap attempt (0 = the first swap of the run).
+    pub swap: u64,
+}
+
 /// Recovery policy for crashed groups. Without one, a dead group stays
 /// dead — the seed behaviour and the paper's baseline observation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -104,6 +147,12 @@ pub struct FaultPlan {
     pub stragglers: Vec<Straggler>,
     /// Per-exchange injected latencies.
     pub message_delays: Vec<MessageDelay>,
+    /// Scheduled serving-worker deaths.
+    pub worker_crashes: Vec<WorkerCrash>,
+    /// Slow serving-worker windows.
+    pub slow_workers: Vec<SlowWorker>,
+    /// Hot-swap attempts that deliver a corrupt checkpoint.
+    pub corrupt_swaps: Vec<CorruptSwap>,
     /// If set, crashed groups come back after the MTTR.
     pub recovery: Option<Recovery>,
 }
@@ -153,6 +202,34 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a serving-worker crash (builder style).
+    pub fn with_worker_crash(mut self, worker: usize, after_batches: u64, respawn_secs: f64) -> Self {
+        assert!(respawn_secs >= 0.0);
+        self.worker_crashes.push(WorkerCrash { worker, after_batches, respawn_secs });
+        self
+    }
+
+    /// Adds a slow serving-worker window (builder style).
+    pub fn with_slow_worker(
+        mut self,
+        worker: usize,
+        from_batch: u64,
+        to_batch: u64,
+        factor: f64,
+    ) -> Self {
+        assert!(factor >= 1.0, "a slow worker cannot be faster than healthy");
+        assert!(from_batch <= to_batch);
+        self.slow_workers.push(SlowWorker { worker, from_batch, to_batch, factor });
+        self
+    }
+
+    /// Marks the `swap`-th hot-swap attempt as delivering a corrupt
+    /// checkpoint (builder style).
+    pub fn with_corrupt_swap(mut self, swap: u64) -> Self {
+        self.corrupt_swaps.push(CorruptSwap { swap });
+        self
+    }
+
     /// Enables group recovery with the given mean-time-to-repair.
     pub fn with_recovery(mut self, mttr_iters: u64, mttr_secs: f64) -> Self {
         self.recovery = Some(Recovery { mttr_iters, mttr_secs });
@@ -166,6 +243,9 @@ impl FaultPlan {
             && self.ps_crashes.is_empty()
             && self.stragglers.is_empty()
             && self.message_delays.is_empty()
+            && self.worker_crashes.is_empty()
+            && self.slow_workers.is_empty()
+            && self.corrupt_swaps.is_empty()
     }
 
     /// Iteration at which `group` is scheduled to crash, if any. With
@@ -205,6 +285,39 @@ impl FaultPlan {
             .filter(|d| d.group == group && d.iteration == iteration)
             .map(|d| d.secs)
             .sum()
+    }
+
+    /// The scheduled crash for serving worker slot `worker`, if any
+    /// (the one with the earliest `after_batches` wins).
+    pub fn worker_crash_for(&self, worker: usize) -> Option<WorkerCrash> {
+        self.worker_crashes
+            .iter()
+            .filter(|c| c.worker == worker)
+            .min_by_key(|c| c.after_batches)
+            .copied()
+    }
+
+    /// Combined compute slow-down for worker `worker`'s `batch`-th batch
+    /// (overlapping windows multiply; `1.0` = healthy).
+    pub fn slow_worker_factor(&self, worker: usize, batch: u64) -> f64 {
+        self.slow_workers
+            .iter()
+            .filter(|s| s.worker == worker && (s.from_batch..s.to_batch).contains(&batch))
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Whether the `swap`-th hot-swap attempt delivers a corrupt
+    /// checkpoint.
+    pub fn swap_is_corrupt(&self, swap: u64) -> bool {
+        self.corrupt_swaps.iter().any(|c| c.swap == swap)
+    }
+
+    /// True when the plan contains any serving-tier event.
+    pub fn has_serving_faults(&self) -> bool {
+        !self.worker_crashes.is_empty()
+            || !self.slow_workers.is_empty()
+            || !self.corrupt_swaps.is_empty()
     }
 
     /// The scheduled crash for PS `shard`, if any (earliest wins).
@@ -270,6 +383,33 @@ mod tests {
         assert_eq!(p.straggler_factor(0, 4), 3.0, "overlap multiplies");
         assert_eq!(p.straggler_factor(0, 5), 1.5, "to_iter is exclusive");
         assert_eq!(p.straggler_factor(1, 3), 1.0, "other groups unaffected");
+    }
+
+    #[test]
+    fn serving_faults_accumulate_and_resolve() {
+        let p = FaultPlan::none()
+            .with_worker_crash(1, 5, 0.2)
+            .with_worker_crash(1, 3, 0.1)
+            .with_slow_worker(0, 2, 6, 3.0)
+            .with_slow_worker(0, 4, 8, 1.5)
+            .with_corrupt_swap(0)
+            .with_corrupt_swap(2);
+        assert!(!p.is_empty());
+        assert!(p.has_serving_faults());
+        assert_eq!(p.worker_crash_for(1).unwrap().after_batches, 3, "earliest wins");
+        assert!(p.worker_crash_for(0).is_none());
+        assert_eq!(p.slow_worker_factor(0, 1), 1.0);
+        assert_eq!(p.slow_worker_factor(0, 5), 4.5, "overlap multiplies");
+        assert_eq!(p.slow_worker_factor(0, 6), 1.5, "to_batch is exclusive");
+        assert_eq!(p.slow_worker_factor(1, 3), 1.0, "other workers unaffected");
+        assert!(p.swap_is_corrupt(0));
+        assert!(!p.swap_is_corrupt(1));
+        assert!(p.swap_is_corrupt(2));
+        assert!(!FaultPlan::none().has_serving_faults());
+        assert!(
+            !FaultPlan::none().with_group_crash(0, 1).has_serving_faults(),
+            "training faults are not serving faults"
+        );
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! `scidl_cluster::SimConfig::faults` for the injection points.
 
 pub use scidl_cluster::faults::{
-    FaultPlan, GroupCrash, MessageDelay, NodeCrash, PsCrash, Recovery, Straggler,
+    CorruptSwap, FaultPlan, GroupCrash, MessageDelay, NodeCrash, PsCrash, Recovery, SlowWorker,
+    Straggler, WorkerCrash,
 };
 
 /// A plan that kills `group` at `iteration` and never repairs it — the
@@ -46,9 +47,40 @@ pub fn kill_ps_shard(shard: usize, after_requests: u64, repair_secs: f64) -> Fau
     FaultPlan::none().with_ps_crash(shard, after_requests, repair_secs)
 }
 
+/// A plan that kills serving worker `worker` mid-batch once it has
+/// dispatched `after_batches` batches. The threaded server's supervisor
+/// re-queues the in-flight requests and respawns the slot; the serving
+/// simulator charges `respawn_secs` of downtime.
+pub fn crash_worker(worker: usize, after_batches: u64, respawn_secs: f64) -> FaultPlan {
+    FaultPlan::none().with_worker_crash(worker, after_batches, respawn_secs)
+}
+
+/// The canonical serving-chaos scenario the acceptance criterion and the
+/// chaos smoke run: one worker crash, one straggling worker and one
+/// corrupt hot-swap, all in a single plan that drives the threaded
+/// server and the virtual-time serving simulator identically.
+pub fn serving_chaos() -> FaultPlan {
+    FaultPlan::none()
+        .with_worker_crash(0, 3, 0.05)
+        .with_slow_worker(1, 2, 6, 3.0)
+        .with_corrupt_swap(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serving_helpers_build_the_expected_plans() {
+        let p = crash_worker(1, 4, 0.25);
+        assert_eq!(p.worker_crash_for(1).unwrap().after_batches, 4);
+        assert!(p.has_serving_faults());
+
+        let p = serving_chaos();
+        assert!(p.worker_crash_for(0).is_some());
+        assert!(p.slow_worker_factor(1, 3) > 1.0);
+        assert!(p.swap_is_corrupt(0) && !p.swap_is_corrupt(1));
+    }
 
     #[test]
     fn helpers_build_the_expected_plans() {

@@ -11,19 +11,30 @@
 //! to a batch-size cap or a queueing deadline, trading a bounded latency
 //! increase for a multiple of sustained throughput.
 //!
+//! Serving is also the tier where failures are most visible: a crashed
+//! worker thread or a corrupt checkpoint turns directly into user-facing
+//! errors. The crate therefore layers a resilience stack over the
+//! batcher — supervised workers (panic containment, heartbeat-based hang
+//! detection, backoff respawn, in-flight re-queue), deadline-aware
+//! admission control with typed sheds and budgeted client retry, and a
+//! validate-before-publish hot-swap guarded by a circuit breaker — all
+//! drivable by the same declarative [`FaultPlan`](scidl_cluster::faults::FaultPlan)
+//! chaos schedule in both the threaded server and the virtual-time sim.
+//!
 //! Modules:
 //!
-//! * [`queue`] — bounded MPMC request queue + deadline batch former
-//!   ([`BatchPolicy`], [`BatchQueue`]),
+//! * [`queue`] — bounded MPMC request queue + deadline batch former with
+//!   watermark shedding and expiry ([`BatchPolicy`], [`BatchQueue`]),
 //! * [`registry`] — checkpoint loading with the bit-identical round-trip
-//!   guarantee and atomic hot-swap ([`ModelRegistry`]),
-//! * [`server`] — the worker pool over `scidl_nn::Network::infer_with`
-//!   ([`Server`], [`Client`]),
+//!   guarantee, atomic hot-swap, and the swap circuit breaker
+//!   ([`ModelRegistry`]),
+//! * [`server`] — the supervised worker pool over
+//!   `scidl_nn::Network::infer_with` ([`Server`], [`Client`]),
 //! * [`loadgen`] — seeded open-loop Poisson arrivals and HEP request
 //!   inputs ([`PoissonArrivals`]),
 //! * [`sim`] — deterministic virtual-time replay of the same semantics
-//!   against the calibrated KNL cost model ([`simulate`]), which is what
-//!   `scidl-bench serving` sweeps.
+//!   (including chaos) against the calibrated KNL cost model
+//!   ([`simulate`]), which is what `scidl-bench serving` sweeps.
 
 #![warn(missing_docs)]
 
@@ -34,7 +45,10 @@ pub mod server;
 pub mod sim;
 
 pub use loadgen::{HepRequestSource, PoissonArrivals};
-pub use queue::{BatchPolicy, BatchQueue, QueueFull};
-pub use registry::{check_roundtrip, ModelRegistry, ServingModel};
-pub use server::{Client, InferResult, ServeError, Server, ServerConfig};
+pub use queue::{BatchPolicy, BatchQueue, Popped, SubmitError};
+pub use registry::{check_roundtrip, ModelRegistry, ServingModel, SwapError};
+pub use server::{
+    Client, InferResult, ReplyReceiver, RetryBudget, RetryPolicy, ServeError, Server, ServerConfig,
+    ServerReport, SupervisorConfig,
+};
 pub use sim::{simulate, ServiceModel, SimConfig, SimOutcome};

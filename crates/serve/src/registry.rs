@@ -12,14 +12,32 @@
 //! the checkpoint. The format stores raw little-endian f32 bits and
 //! [`scidl_nn::Network::infer`] is bit-deterministic, so any mismatch
 //! means corruption or architecture drift — serving refuses the swap.
+//!
+//! ## Validate-before-publish and the swap circuit breaker
+//!
+//! [`ModelRegistry::load_and_swap_guarded`] never lets an unvalidated
+//! model near traffic: the candidate must pass (1) the checkpoint
+//! format's checksum at load, (2) the bit-identical round-trip check
+//! against the training-side network when one is supplied, and (3) a
+//! finite-output probe inference. Any failure leaves the previous model
+//! serving — "rollback" is the absence of publication — and trips a
+//! consecutive-failure counter. Once the counter reaches the breaker
+//! threshold the breaker *opens* and further swap attempts are refused
+//! outright ([`SwapError::BreakerOpen`]) until an operator calls
+//! [`ModelRegistry::reset_breaker`]: a training run that has gone bad
+//! (diverged weights, truncated checkpoints) cannot grind serving
+//! through repeated load/verify cycles. Every rejection and breaker
+//! transition is emitted as a `scidl-trace` event.
 
+use scidl_cluster::faults::FaultPlan;
 use scidl_core::checkpoint::Checkpoint;
 use scidl_nn::network::Model;
 use scidl_nn::Network;
 use scidl_tensor::Tensor;
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// An immutable, servable model snapshot: the network plus the training
 /// cursor it was captured at.
@@ -93,15 +111,86 @@ pub fn check_roundtrip(source: &Network, loaded: &Network, probe: &Tensor) -> Re
     Ok(())
 }
 
+/// Why a guarded hot-swap was refused. The previous model keeps serving
+/// in every case.
+#[derive(Debug)]
+pub enum SwapError {
+    /// The checkpoint failed to load: I/O error, bad magic/version, or a
+    /// checksum mismatch (corruption on disk).
+    Load(io::Error),
+    /// The restored network's logits drifted from the training-side
+    /// network's — the round-trip guarantee is violated.
+    Roundtrip(String),
+    /// The candidate produced a non-finite logit on the probe input: the
+    /// checkpoint captured diverged weights.
+    NonFinite(String),
+    /// The breaker is open after `failures` consecutive bad checkpoints;
+    /// the candidate was not even loaded. Call
+    /// [`ModelRegistry::reset_breaker`] once the checkpoint source is
+    /// healthy again.
+    BreakerOpen {
+        /// Consecutive failures that opened the breaker.
+        failures: u32,
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::Load(e) => write!(f, "swap refused: checkpoint load failed: {e}"),
+            SwapError::Roundtrip(m) => write!(f, "swap refused: round-trip drift: {m}"),
+            SwapError::NonFinite(m) => write!(f, "swap refused: non-finite probe output: {m}"),
+            SwapError::BreakerOpen { failures } => write!(
+                f,
+                "swap refused: breaker open after {failures} consecutive bad checkpoints"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+#[derive(Default)]
+struct Breaker {
+    consecutive_failures: u32,
+    open: bool,
+}
+
 /// The registry serving workers read the active model from.
 pub struct ModelRegistry {
     active: RwLock<Arc<ServingModel>>,
+    breaker: Mutex<Breaker>,
+    breaker_threshold: u32,
+    faults: FaultPlan,
+    swap_attempts: AtomicU64,
 }
 
 impl ModelRegistry {
-    /// Creates a registry serving `model`.
+    /// Creates a registry serving `model` with a breaker threshold of 3.
     pub fn new(model: ServingModel) -> Self {
-        Self { active: RwLock::new(Arc::new(model)) }
+        Self {
+            active: RwLock::new(Arc::new(model)),
+            breaker: Mutex::new(Breaker::default()),
+            breaker_threshold: 3,
+            faults: FaultPlan::none(),
+            swap_attempts: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets how many *consecutive* guarded-swap failures open the
+    /// breaker. Must be ≥ 1.
+    pub fn with_breaker_threshold(mut self, threshold: u32) -> Self {
+        assert!(threshold >= 1, "breaker threshold must be at least 1");
+        self.breaker_threshold = threshold;
+        self
+    }
+
+    /// Attaches a chaos plan: guarded swap attempt `k` fails as a
+    /// checksum error when `plan.swap_is_corrupt(k)`, exercising the
+    /// full reject/breaker path deterministically.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
     }
 
     /// The currently active model. Cheap (Arc clone under a read lock);
@@ -119,6 +208,10 @@ impl ModelRegistry {
     /// Loads a checkpoint and hot-swaps it in. When `verify` is given as
     /// `(source, probe)`, the round-trip guarantee is checked *before*
     /// publication and the swap refused on any drift.
+    ///
+    /// This is the *unguarded* path: it skips the finite-output probe
+    /// and does not touch the circuit breaker. Production swaps should
+    /// go through [`ModelRegistry::load_and_swap_guarded`].
     pub fn load_and_swap(
         &self,
         path: &Path,
@@ -131,6 +224,129 @@ impl ModelRegistry {
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         }
         Ok(self.swap(model))
+    }
+
+    /// Validate-before-publish hot-swap under the circuit breaker.
+    ///
+    /// The candidate at `path` must pass, in order: the checkpoint
+    /// checksum (at load), the bit-identical round-trip check against
+    /// `source` when one is given, and a finite-output inference on
+    /// `probe`. On any failure nothing is published — the previous model
+    /// keeps serving — and the consecutive-failure counter advances;
+    /// reaching the threshold opens the breaker, after which attempts
+    /// fail fast with [`SwapError::BreakerOpen`]. A successful swap
+    /// resets the counter and returns the *previous* snapshot.
+    pub fn load_and_swap_guarded(
+        &self,
+        path: &Path,
+        arch: Network,
+        probe: &Tensor,
+        source: Option<&Network>,
+    ) -> Result<Arc<ServingModel>, SwapError> {
+        let tr = scidl_trace::TraceHandle::current();
+        {
+            let b = self.breaker.lock().unwrap();
+            if b.open {
+                let failures = b.consecutive_failures;
+                drop(b);
+                if tr.enabled() {
+                    tr.instant(u64::MAX, scidl_trace::EventKind::SwapReject {
+                        reason: "breaker_open",
+                        failures: failures as u64,
+                    });
+                }
+                return Err(SwapError::BreakerOpen { failures });
+            }
+        }
+        let attempt = self.swap_attempts.fetch_add(1, Ordering::SeqCst);
+        let candidate = if self.faults.swap_is_corrupt(attempt) {
+            Err(SwapError::Load(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("injected corrupt checkpoint at swap attempt {attempt}"),
+            )))
+        } else {
+            ServingModel::load(path, arch).map_err(SwapError::Load)
+        };
+        let result = candidate.and_then(|model| {
+            if let Some(src) = source {
+                check_roundtrip(src, &model.network, probe).map_err(SwapError::Roundtrip)?;
+            }
+            let y = model.network.infer(probe);
+            if !y.all_finite() {
+                let bad = y
+                    .data()
+                    .iter()
+                    .position(|v| !v.is_finite())
+                    .map(|i| format!("logit at flat index {i} is {}", y.data()[i]))
+                    .unwrap_or_else(|| "non-finite logit".into());
+                return Err(SwapError::NonFinite(bad));
+            }
+            Ok(model)
+        });
+        match result {
+            Ok(model) => {
+                self.breaker.lock().unwrap().consecutive_failures = 0;
+                Ok(self.swap(model))
+            }
+            Err(e) => {
+                let reason = match &e {
+                    SwapError::Load(_) => "checksum",
+                    SwapError::Roundtrip(_) => "roundtrip",
+                    SwapError::NonFinite(_) => "nonfinite",
+                    SwapError::BreakerOpen { .. } => "breaker_open",
+                };
+                let mut b = self.breaker.lock().unwrap();
+                b.consecutive_failures += 1;
+                let failures = b.consecutive_failures;
+                let opened = !b.open && failures >= self.breaker_threshold;
+                if opened {
+                    b.open = true;
+                }
+                drop(b);
+                if tr.enabled() {
+                    tr.instant(u64::MAX, scidl_trace::EventKind::SwapReject {
+                        reason,
+                        failures: failures as u64,
+                    });
+                    if opened {
+                        tr.instant(u64::MAX, scidl_trace::EventKind::Breaker {
+                            open: true,
+                            failures: failures as u64,
+                        });
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether the breaker is currently refusing swaps.
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.lock().unwrap().open
+    }
+
+    /// Consecutive guarded-swap failures since the last success/reset.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.breaker.lock().unwrap().consecutive_failures
+    }
+
+    /// Guarded swap attempts made so far (the ordinal chaos plans index
+    /// with `swap_is_corrupt`).
+    pub fn swap_attempts(&self) -> u64 {
+        self.swap_attempts.load(Ordering::SeqCst)
+    }
+
+    /// Closes the breaker and zeroes the failure counter: the operator
+    /// asserts the checkpoint source is healthy again.
+    pub fn reset_breaker(&self) {
+        let mut b = self.breaker.lock().unwrap();
+        b.open = false;
+        b.consecutive_failures = 0;
+        drop(b);
+        let tr = scidl_trace::TraceHandle::current();
+        if tr.enabled() {
+            tr.instant(u64::MAX, scidl_trace::EventKind::Breaker { open: false, failures: 0 });
+        }
     }
 }
 
@@ -239,5 +455,131 @@ mod tests {
         reg.load_and_swap(&path, hep_small(&mut rng5), Some((&source, &probe))).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(reg.current().iteration, 3);
+    }
+
+    #[test]
+    fn guarded_swap_publishes_only_validated_models() {
+        let mut rng = TensorRng::new(50);
+        let source = hep_small(&mut rng);
+        let path = tmp("guarded_ok");
+        Checkpoint::capture(&source, 9, 1).save(&path).unwrap();
+
+        let mut rngr = TensorRng::new(51);
+        let reg = ModelRegistry::new(ServingModel::new(hep_small(&mut rngr), 0, 0));
+        let mut xr = TensorRng::new(52);
+        let probe = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
+
+        let mut rng2 = TensorRng::new(53);
+        let old = reg
+            .load_and_swap_guarded(&path, hep_small(&mut rng2), &probe, Some(&source))
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(old.iteration, 0);
+        assert_eq!(reg.current().iteration, 9);
+        assert!(!reg.breaker_open());
+        assert_eq!(reg.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected_and_previous_model_keeps_serving() {
+        let mut rng = TensorRng::new(54);
+        let source = hep_small(&mut rng);
+        let path = tmp("guarded_corrupt");
+        Checkpoint::capture(&source, 9, 1).save(&path).unwrap();
+        // Flip one byte of the payload: the file-format checksum must
+        // catch it at load, before any publication.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut rngr = TensorRng::new(55);
+        let reg = ModelRegistry::new(ServingModel::new(hep_small(&mut rngr), 7, 0));
+        let mut xr = TensorRng::new(56);
+        let probe = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
+
+        let mut rng2 = TensorRng::new(57);
+        let err = reg
+            .load_and_swap_guarded(&path, hep_small(&mut rng2), &probe, Some(&source))
+            .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, SwapError::Load(_)), "{err}");
+        assert_eq!(reg.current().iteration, 7, "previous model keeps serving");
+        assert_eq!(reg.consecutive_failures(), 1);
+        assert!(!reg.breaker_open(), "one failure is below the threshold");
+    }
+
+    #[test]
+    fn guarded_swap_rejects_nonfinite_weights() {
+        let mut rng = TensorRng::new(58);
+        let mut diverged = hep_small(&mut rng);
+        let mut p = diverged.flat_params();
+        // Poison the tail (final-layer weights + biases): NaNs in early
+        // layers can be absorbed by ReLU's max, but the output layer
+        // feeds logits directly.
+        let n = p.len();
+        for v in p.iter_mut().skip(n - 64) {
+            *v = f32::NAN;
+        }
+        diverged.set_flat_params(&p);
+        let path = tmp("guarded_nan");
+        Checkpoint::capture(&diverged, 9, 1).save(&path).unwrap();
+
+        let mut rngr = TensorRng::new(59);
+        let reg = ModelRegistry::new(ServingModel::new(hep_small(&mut rngr), 7, 0));
+        let mut xr = TensorRng::new(60);
+        let probe = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
+
+        // No round-trip source: the checkpoint is internally consistent
+        // (it really holds NaN weights), so only the probe catches it.
+        let mut rng2 = TensorRng::new(61);
+        let err =
+            reg.load_and_swap_guarded(&path, hep_small(&mut rng2), &probe, None).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, SwapError::NonFinite(_)), "{err}");
+        assert_eq!(reg.current().iteration, 7);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_reset_closes_it() {
+        let mut rng = TensorRng::new(62);
+        let source = hep_small(&mut rng);
+        let path = tmp("guarded_breaker");
+        Checkpoint::capture(&source, 9, 1).save(&path).unwrap();
+
+        let mut rngr = TensorRng::new(63);
+        // Chaos plan corrupts attempts 0 and 1; threshold 2 opens on the
+        // second failure.
+        let reg = ModelRegistry::new(ServingModel::new(hep_small(&mut rngr), 7, 0))
+            .with_breaker_threshold(2)
+            .with_faults(FaultPlan::none().with_corrupt_swap(0).with_corrupt_swap(1));
+        let mut xr = TensorRng::new(64);
+        let probe = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
+
+        for want_open in [false, true] {
+            let mut rng2 = TensorRng::new(65);
+            let err = reg
+                .load_and_swap_guarded(&path, hep_small(&mut rng2), &probe, Some(&source))
+                .unwrap_err();
+            assert!(matches!(err, SwapError::Load(_)), "{err}");
+            assert_eq!(reg.breaker_open(), want_open);
+        }
+        // Open breaker fails fast without consuming a swap attempt.
+        let attempts_before = reg.swap_attempts();
+        let mut rng3 = TensorRng::new(66);
+        let err = reg
+            .load_and_swap_guarded(&path, hep_small(&mut rng3), &probe, Some(&source))
+            .unwrap_err();
+        assert!(matches!(err, SwapError::BreakerOpen { failures: 2 }), "{err}");
+        assert_eq!(reg.swap_attempts(), attempts_before);
+        assert_eq!(reg.current().iteration, 7, "nothing published while open");
+
+        // Reset: the (healthy) checkpoint now goes through.
+        reg.reset_breaker();
+        let mut rng4 = TensorRng::new(67);
+        reg.load_and_swap_guarded(&path, hep_small(&mut rng4), &probe, Some(&source)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reg.current().iteration, 9);
+        assert!(!reg.breaker_open());
     }
 }

@@ -6,21 +6,40 @@
 //! model of the same queue/batcher/worker-pool semantics, with batch
 //! service times taken from the calibrated KNL node model
 //! (`scidl-cluster::knl`). Every quantity is pure f64 arithmetic over the
-//! seeded schedule, so a given `(seed, rate, policy)` produces
+//! seeded schedule, so a given `(seed, rate, policy, plan)` produces
 //! bit-identical latency frontiers on every run — the property the
 //! `scidl-bench serving` acceptance check relies on.
 //!
 //! Semantics mirrored from the real implementation:
 //!
-//! * bounded queue, arrivals rejected when `queue_capacity` are waiting,
+//! * bounded queue, arrivals shed once `shed_watermark` (default: the
+//!   capacity) are waiting,
 //! * batch forms when `max_batch` requests wait or the oldest has waited
 //!   `max_delay`, whichever comes first,
 //! * a batch starts when a worker is free (the trigger can be delayed by
 //!   a busy pool, in which case later arrivals may join the batch),
+//! * requests whose deadline lapses in the queue are shed before any
+//!   compute is charged,
 //! * per-request latency = queue wait (arrival → batch start) + compute
 //!   (the whole batch's service time).
+//!
+//! And the resilience semantics, driven by the *same*
+//! [`FaultPlan`](scidl_cluster::faults::FaultPlan) the threaded server
+//! consumes:
+//!
+//! * a [`WorkerCrash`](scidl_cluster::faults::WorkerCrash) kills its
+//!   slot mid-batch (halfway through the service time); the batch's
+//!   requests are re-queued at the head of the line — or counted *lost*
+//!   past `max_requeues` — and the slot returns `respawn_secs` later,
+//! * a [`SlowWorker`](scidl_cluster::faults::SlowWorker) stretches the
+//!   slot's service times by its factor over its batch window,
+//! * scheduled hot-swap attempts ([`SimConfig::swap_schedule`]) replay
+//!   the registry's validate-before-publish circuit breaker: attempts
+//!   the plan marks corrupt are rejected, consecutive rejections open
+//!   the breaker, and an open breaker fails attempts fast.
 
 use crate::queue::BatchPolicy;
+use scidl_cluster::faults::FaultPlan;
 use scidl_cluster::knl::{KnlModel, LayerCost, RateClass};
 use scidl_core::metrics::LatencyRecorder;
 use scidl_nn::arch;
@@ -90,15 +109,50 @@ impl ServiceModel {
     }
 }
 
-/// Virtual-time serving configuration.
-#[derive(Clone, Copy, Debug)]
+/// Virtual-time serving configuration. Not `Copy` — it carries the chaos
+/// plan; clone it to vary one knob across runs.
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Number of parallel workers (KNL nodes) pulling batches.
     pub workers: usize,
-    /// Bounded queue capacity; arrivals beyond it are shed.
+    /// Bounded queue capacity.
     pub queue_capacity: usize,
     /// Batch-formation policy.
     pub policy: BatchPolicy,
+    /// Queue depth at which admission sheds; `None` means the capacity.
+    pub shed_watermark: Option<usize>,
+    /// Relative deadline attached to every arrival; requests still
+    /// queued when it lapses are shed before compute.
+    pub deadline_secs: Option<f64>,
+    /// Chaos plan: worker crashes, slow workers, corrupt swap attempts.
+    pub faults: FaultPlan,
+    /// Virtual times of hot-swap attempts (replayed through the breaker
+    /// model; corruption comes from `faults.swap_is_corrupt`).
+    pub swap_schedule: Vec<f64>,
+    /// Consecutive bad swaps that open the breaker.
+    pub breaker_threshold: u32,
+    /// Re-queues a request survives after losing its worker before it
+    /// counts as lost.
+    pub max_requeues: u32,
+}
+
+impl SimConfig {
+    /// A fault-free configuration with the default resilience knobs
+    /// (watermark = capacity, no deadlines, breaker threshold 3, two
+    /// re-queues).
+    pub fn new(workers: usize, queue_capacity: usize, policy: BatchPolicy) -> Self {
+        Self {
+            workers,
+            queue_capacity,
+            policy,
+            shed_watermark: None,
+            deadline_secs: None,
+            faults: FaultPlan::none(),
+            swap_schedule: Vec::new(),
+            breaker_threshold: 3,
+            max_requeues: 2,
+        }
+    }
 }
 
 /// Everything the simulation observed.
@@ -107,14 +161,36 @@ pub struct SimOutcome {
     pub recorder: LatencyRecorder,
     /// Requests served to completion.
     pub completed: usize,
-    /// Requests shed at admission (queue full).
+    /// Requests shed at admission (watermark / queue full).
     pub rejected: usize,
-    /// Virtual time at which the last batch finished.
+    /// Requests shed in the queue when their deadline lapsed.
+    pub expired: usize,
+    /// Requests lost to worker crashes after exhausting their re-queue
+    /// budget.
+    pub lost: usize,
+    /// Successful re-queues of crash-recovered requests.
+    pub requeued: usize,
+    /// Worker crashes that fired.
+    pub crashes: usize,
+    /// Hot-swap attempts that reached validation (breaker closed).
+    pub swap_attempts: usize,
+    /// Swap attempts rejected: corrupt checkpoints plus breaker-open
+    /// fast failures.
+    pub swap_rejects: usize,
+    /// Swaps that validated and published.
+    pub swap_published: usize,
+    /// Whether the breaker opened during the run.
+    pub breaker_opened: bool,
+    /// Virtual time at which the pool went fully idle.
     pub makespan: f64,
     /// Ids of served requests, in dispatch order.
     pub served_ids: Vec<usize>,
     /// Ids of shed requests, in arrival order.
     pub rejected_ids: Vec<usize>,
+    /// Ids of deadline-expired requests, in expiry order.
+    pub expired_ids: Vec<usize>,
+    /// Ids of crash-lost requests, in loss order.
+    pub lost_ids: Vec<usize>,
     /// Size of every dispatched batch, in dispatch order.
     pub batch_sizes: Vec<usize>,
 }
@@ -128,19 +204,79 @@ impl SimOutcome {
             0.0
         }
     }
+
+    /// Total requests offered (served + every shed/lost category).
+    pub fn offered(&self) -> usize {
+        self.completed + self.rejected + self.expired + self.lost
+    }
+
+    /// Fraction of offered requests that did not get an answer:
+    /// admission sheds, deadline expiries and crash losses.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            (self.rejected + self.expired + self.lost) as f64 / offered as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct QItem {
+    id: usize,
+    /// Last (re-)queueing time; queue wait counts from here.
+    arrived: f64,
+    /// Absolute deadline from the original arrival.
+    deadline: Option<f64>,
+    attempts: u32,
 }
 
 struct SimState<'a> {
     model: &'a ServiceModel,
-    policy: BatchPolicy,
+    cfg: &'a SimConfig,
     max_delay: f64,
-    queue: Vec<(usize, f64)>,
+    queue: Vec<QItem>,
     worker_free: Vec<f64>,
+    /// Successful batches dispatched per slot (the ordinal crash plans
+    /// index with `after_batches`, matching the threaded worker).
+    slot_batches: Vec<u64>,
+    /// One flag per `faults.worker_crashes` entry: each fires once.
+    crash_fired: Vec<bool>,
     tr: scidl_trace::TraceHandle,
     out: SimOutcome,
 }
 
 impl SimState<'_> {
+    /// Sheds every queued request whose deadline lapsed by `cut`.
+    /// Returns how many were shed.
+    fn expire(&mut self, cut: f64) -> usize {
+        if self.cfg.deadline_secs.is_none() {
+            return 0;
+        }
+        let before = self.queue.len();
+        let mut kept = Vec::with_capacity(before);
+        for q in self.queue.drain(..) {
+            if q.deadline.is_some_and(|d| d <= cut) {
+                self.out.expired += 1;
+                self.out.expired_ids.push(q.id);
+            } else {
+                kept.push(q);
+            }
+        }
+        self.queue = kept;
+        let n = before - self.queue.len();
+        if n > 0 && self.tr.enabled() {
+            self.tr.event_at(u64::MAX, cut, 0.0, scidl_trace::EventKind::Shed {
+                worker: u64::MAX,
+                count: n as u64,
+                depth: self.queue.len() as u64,
+                reason: "deadline",
+            });
+        }
+        n
+    }
+
     /// Forms and dispatches every batch whose start time is ≤ `t_limit`.
     fn drain_until(&mut self, t_limit: f64) {
         loop {
@@ -150,22 +286,28 @@ impl SimState<'_> {
             // When is the batch former triggered? Either the queue
             // already holds a full batch (triggered the moment the
             // `max_batch`-th request arrived) or the head's deadline.
-            let trigger = if self.queue.len() >= self.policy.max_batch {
-                self.queue[self.policy.max_batch - 1].1
+            let trigger = if self.queue.len() >= self.cfg.policy.max_batch {
+                self.queue[self.cfg.policy.max_batch - 1].arrived
             } else {
-                self.queue[0].1 + self.max_delay
+                self.queue[0].arrived + self.max_delay
             };
             // The batch actually starts when a worker is also free.
             let free = self.worker_free.iter().cloned().fold(f64::INFINITY, f64::min);
-            let start = trigger.max(free).max(self.queue[0].1);
+            let start = trigger.max(free).max(self.queue[0].arrived);
+            // Expired requests never enter a batch: shed everything that
+            // lapsed by the would-be start (bounded by `t_limit` so
+            // expiry cannot run ahead of the arrival being admitted),
+            // then re-evaluate batch formation against the survivors.
+            if self.expire(start.min(t_limit)) > 0 {
+                continue;
+            }
             if start > t_limit {
                 return;
             }
             // Everything that arrived by the start instant is eligible;
             // a busy pool lets late arrivals ride along.
-            let eligible = self.queue.iter().take_while(|&&(_, a)| a <= start).count();
-            let b = eligible.min(self.policy.max_batch);
-            let svc = self.model.batch_secs(b);
+            let eligible = self.queue.iter().take_while(|q| q.arrived <= start).count();
+            let b = eligible.min(self.cfg.policy.max_batch);
             let slot = self
                 .worker_free
                 .iter()
@@ -173,11 +315,60 @@ impl SimState<'_> {
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .map(|(i, _)| i)
                 .unwrap();
+            // Chaos stragglers stretch this slot's service time.
+            let svc = self.model.batch_secs(b)
+                * self.cfg.faults.slow_worker_factor(slot, self.slot_batches[slot]);
+
+            // Chaos crash: the slot dies halfway through the batch. Its
+            // requests go back to the head of the line (or are lost past
+            // the re-queue budget) and the slot returns after its
+            // respawn time — mirroring the threaded supervisor.
+            let crash = self.cfg.faults.worker_crashes.iter().enumerate().find(|(ci, c)| {
+                c.worker == slot
+                    && self.slot_batches[slot] >= c.after_batches
+                    && !self.crash_fired[*ci]
+            });
+            if let Some((ci, c)) = crash {
+                let t_crash = start + 0.5 * svc;
+                self.crash_fired[ci] = true;
+                self.out.crashes += 1;
+                self.worker_free[slot] = t_crash + c.respawn_secs;
+                self.out.makespan = self.out.makespan.max(self.worker_free[slot]);
+                let mut recovered = Vec::with_capacity(b);
+                for mut q in self.queue.drain(..b) {
+                    q.attempts += 1;
+                    if q.attempts > self.cfg.max_requeues {
+                        self.out.lost += 1;
+                        self.out.lost_ids.push(q.id);
+                    } else {
+                        q.arrived = t_crash;
+                        self.out.requeued += 1;
+                        recovered.push(q);
+                    }
+                }
+                let n = recovered.len() as u64;
+                self.queue.splice(0..0, recovered);
+                if self.tr.enabled() {
+                    self.tr.event_at(
+                        slot as u64,
+                        t_crash,
+                        c.respawn_secs,
+                        scidl_trace::EventKind::WorkerRespawn {
+                            worker: slot as u64,
+                            incarnation: self.out.crashes as u64,
+                            backoff_s: c.respawn_secs,
+                            requeued: n,
+                        },
+                    );
+                }
+                continue;
+            }
+
             if self.tr.enabled() {
                 // Virtual timestamps: the trace of a seeded schedule is
                 // bit-identical run to run.
                 let (wu, bu) = (slot as u64, self.out.batch_sizes.len() as u64);
-                let queue_s = start - self.queue[0].1;
+                let queue_s = start - self.queue[0].arrived;
                 self.tr.event_at(wu, start, svc, scidl_trace::EventKind::BatchDispatch {
                     worker: wu,
                     batch: b as u64,
@@ -199,42 +390,111 @@ impl SimState<'_> {
                     batch: b as u64,
                 });
             }
-            for &(id, arrived) in &self.queue[..b] {
-                self.out.recorder.push(start - arrived, svc);
-                self.out.served_ids.push(id);
+            for q in &self.queue[..b] {
+                self.out.recorder.push(start - q.arrived, svc);
+                self.out.served_ids.push(q.id);
             }
             self.out.batch_sizes.push(b);
             self.out.completed += b;
             let end = start + svc;
             self.out.makespan = self.out.makespan.max(end);
             self.worker_free[slot] = end;
+            self.slot_batches[slot] += 1;
             self.queue.drain(..b);
+        }
+    }
+
+    /// Replays the scheduled hot-swap attempts through the registry's
+    /// breaker model: corrupt attempts are rejected and advance the
+    /// consecutive-failure counter; the open breaker fails attempts fast
+    /// without consuming an attempt ordinal, exactly like
+    /// `ModelRegistry::load_and_swap_guarded`.
+    fn replay_swaps(&mut self) {
+        let mut schedule = self.cfg.swap_schedule.clone();
+        schedule.sort_by(f64::total_cmp);
+        let mut failures = 0u32;
+        let mut open = false;
+        for &t in &schedule {
+            if open {
+                self.out.swap_rejects += 1;
+                if self.tr.enabled() {
+                    self.tr.event_at(u64::MAX, t, 0.0, scidl_trace::EventKind::SwapReject {
+                        reason: "breaker_open",
+                        failures: failures as u64,
+                    });
+                }
+                continue;
+            }
+            let k = self.out.swap_attempts as u64;
+            self.out.swap_attempts += 1;
+            if self.cfg.faults.swap_is_corrupt(k) {
+                failures += 1;
+                self.out.swap_rejects += 1;
+                if self.tr.enabled() {
+                    self.tr.event_at(u64::MAX, t, 0.0, scidl_trace::EventKind::SwapReject {
+                        reason: "checksum",
+                        failures: failures as u64,
+                    });
+                }
+                if failures >= self.cfg.breaker_threshold {
+                    open = true;
+                    self.out.breaker_opened = true;
+                    if self.tr.enabled() {
+                        self.tr.event_at(u64::MAX, t, 0.0, scidl_trace::EventKind::Breaker {
+                            open: true,
+                            failures: failures as u64,
+                        });
+                    }
+                }
+            } else {
+                failures = 0;
+                self.out.swap_published += 1;
+            }
         }
     }
 }
 
 /// Replays `arrivals` (sorted virtual timestamps, request id = index)
-/// through the batcher/worker-pool model and returns the full outcome.
+/// through the batcher/worker-pool model — including the configuration's
+/// chaos plan — and returns the full outcome. Bit-deterministic in all
+/// inputs.
 pub fn simulate(model: &ServiceModel, arrivals: &[f64], cfg: &SimConfig) -> SimOutcome {
     assert!(cfg.workers >= 1 && cfg.queue_capacity >= 1);
     assert!(
         arrivals.windows(2).all(|w| w[1] >= w[0]),
         "arrival schedule must be sorted"
     );
+    let watermark = cfg.shed_watermark.unwrap_or(cfg.queue_capacity).min(cfg.queue_capacity);
+    assert!(watermark >= 1, "shed watermark must be at least 1");
+    if let Some(d) = cfg.deadline_secs {
+        assert!(d > 0.0, "deadline must be positive");
+    }
     let mut st = SimState {
         model,
-        policy: cfg.policy,
+        cfg,
         max_delay: cfg.policy.max_delay.as_secs_f64(),
         queue: Vec::new(),
         worker_free: vec![0.0; cfg.workers],
+        slot_batches: vec![0; cfg.workers],
+        crash_fired: vec![false; cfg.faults.worker_crashes.len()],
         tr: scidl_trace::TraceHandle::begin("serve-sim"),
         out: SimOutcome {
             recorder: LatencyRecorder::new(),
             completed: 0,
             rejected: 0,
+            expired: 0,
+            lost: 0,
+            requeued: 0,
+            crashes: 0,
+            swap_attempts: 0,
+            swap_rejects: 0,
+            swap_published: 0,
+            breaker_opened: false,
             makespan: 0.0,
             served_ids: Vec::new(),
             rejected_ids: Vec::new(),
+            expired_ids: Vec::new(),
+            lost_ids: Vec::new(),
             batch_sizes: Vec::new(),
         },
     };
@@ -242,14 +502,24 @@ pub fn simulate(model: &ServiceModel, arrivals: &[f64], cfg: &SimConfig) -> SimO
         // Dispatch everything that happened before this arrival, then
         // apply admission control against the *current* queue depth.
         st.drain_until(t);
-        if st.queue.len() >= cfg.queue_capacity {
+        if st.queue.len() >= watermark {
             st.out.rejected += 1;
             st.out.rejected_ids.push(id);
+            if st.tr.enabled() {
+                st.tr.event_at(u64::MAX, t, 0.0, scidl_trace::EventKind::Shed {
+                    worker: u64::MAX,
+                    count: 1,
+                    depth: st.queue.len() as u64,
+                    reason: "watermark",
+                });
+            }
         } else {
-            st.queue.push((id, t));
+            let deadline = cfg.deadline_secs.map(|d| t + d);
+            st.queue.push(QItem { id, arrived: t, deadline, attempts: 0 });
         }
     }
     st.drain_until(f64::INFINITY);
+    st.replay_swaps();
     st.out
 }
 
@@ -260,11 +530,7 @@ mod tests {
     use std::time::Duration;
 
     fn dyn_cfg(max_batch: usize, delay_ms: u64) -> SimConfig {
-        SimConfig {
-            workers: 1,
-            queue_capacity: 256,
-            policy: BatchPolicy::dynamic(max_batch, Duration::from_millis(delay_ms)),
-        }
+        SimConfig::new(1, 256, BatchPolicy::dynamic(max_batch, Duration::from_millis(delay_ms)))
     }
 
     #[test]
@@ -368,10 +634,131 @@ mod tests {
         let arrivals: Vec<f64> = PoissonArrivals::new(17, rate, 800).collect();
         let mut one = dyn_cfg(32, 10);
         one.queue_capacity = 512;
-        let mut two = one;
+        let mut two = one.clone();
         two.workers = 2;
         let t1 = simulate(&m, &arrivals, &one).throughput();
         let t2 = simulate(&m, &arrivals, &two).throughput();
         assert!(t2 > 1.5 * t1, "2 workers: {t2:.0}/s vs 1 worker: {t1:.0}/s");
+    }
+
+    #[test]
+    fn worker_crash_requeues_and_every_request_resolves() {
+        let m = ServiceModel::hep();
+        let rate = 1.2 * m.saturated_rate(8);
+        let arrivals: Vec<f64> = PoissonArrivals::new(23, rate, 200).collect();
+        let mut cfg = dyn_cfg(8, 5);
+        cfg.faults = FaultPlan::none().with_worker_crash(0, 2, 0.05);
+        let out = simulate(&m, &arrivals, &cfg);
+        assert_eq!(out.crashes, 1);
+        assert!(out.requeued > 0, "the crashed batch must be recovered");
+        assert_eq!(out.lost, 0, "one crash cannot exhaust the re-queue budget");
+        // Exactly-once accounting: every arrival has one terminal
+        // outcome even under the crash.
+        assert_eq!(out.offered(), arrivals.len());
+        assert_eq!(out.recorder.len(), out.completed);
+    }
+
+    #[test]
+    fn repeated_crashes_past_requeue_budget_lose_requests() {
+        let m = ServiceModel::hep();
+        let arrivals: Vec<f64> = (0..4).map(|i| i as f64 * 1e-4).collect();
+        let mut cfg = dyn_cfg(4, 1);
+        cfg.max_requeues = 1;
+        // Two crashes on slot 0 with an instant respawn: the same batch
+        // dies twice, exceeding the single-re-queue budget.
+        cfg.faults =
+            FaultPlan::none().with_worker_crash(0, 0, 0.0).with_worker_crash(0, 0, 0.0);
+        let out = simulate(&m, &arrivals, &cfg);
+        assert_eq!(out.crashes, 2);
+        assert_eq!(out.lost, 4, "the twice-crashed batch is abandoned");
+        assert_eq!(out.completed, 0);
+        assert_eq!(out.offered(), arrivals.len());
+    }
+
+    #[test]
+    fn slow_worker_stretches_its_batches() {
+        let m = ServiceModel::hep();
+        let arrivals: Vec<f64> = (0..6).map(|i| i as f64 * 1e-5).collect();
+        let clean = simulate(&m, &arrivals, &dyn_cfg(2, 0));
+        let mut cfg = dyn_cfg(2, 0);
+        cfg.faults = FaultPlan::none().with_slow_worker(0, 0, 100, 5.0);
+        let slow = simulate(&m, &arrivals, &cfg);
+        assert_eq!(slow.completed, clean.completed);
+        assert!(
+            slow.makespan > 4.0 * clean.makespan,
+            "5× straggler: {} vs {}",
+            slow.makespan,
+            clean.makespan
+        );
+    }
+
+    #[test]
+    fn deadlines_shed_stale_requests_before_compute() {
+        let m = ServiceModel::hep();
+        let svc1 = m.batch_secs(1);
+        // Burst of 6 at t=0, batch-1 service: the pool serves them one
+        // at a time, so late positions blow a 2.5-service deadline.
+        let arrivals = vec![0.0; 6];
+        let mut cfg = dyn_cfg(1, 0);
+        cfg.deadline_secs = Some(2.5 * svc1);
+        let out = simulate(&m, &arrivals, &cfg);
+        assert!(out.expired > 0, "tail of the burst must expire");
+        assert_eq!(out.completed + out.expired, 6);
+        // Expired requests never entered a batch.
+        assert_eq!(out.recorder.len(), out.completed);
+        assert_eq!(out.batch_sizes.len(), out.completed);
+    }
+
+    #[test]
+    fn watermark_sheds_earlier_than_capacity() {
+        let m = ServiceModel::hep();
+        let arrivals = vec![0.0; 10];
+        let mut deep = dyn_cfg(32, 50);
+        deep.queue_capacity = 16;
+        let mut shallow = deep.clone();
+        shallow.shed_watermark = Some(4);
+        let a = simulate(&m, &arrivals, &deep);
+        let b = simulate(&m, &arrivals, &shallow);
+        assert_eq!(a.rejected, 0);
+        assert_eq!(b.rejected, 6, "watermark 4 admits only the first 4 of the burst");
+    }
+
+    #[test]
+    fn corrupt_swap_schedule_trips_the_breaker() {
+        let m = ServiceModel::hep();
+        let arrivals: Vec<f64> = (0..4).map(|i| i as f64 * 0.01).collect();
+        let mut cfg = dyn_cfg(4, 1);
+        cfg.breaker_threshold = 2;
+        cfg.swap_schedule = vec![0.01, 0.02, 0.03, 0.04];
+        cfg.faults = FaultPlan::none().with_corrupt_swap(0).with_corrupt_swap(1);
+        let out = simulate(&m, &arrivals, &cfg);
+        // Attempts 0 and 1 are corrupt → breaker opens; attempts at
+        // 0.03/0.04 fail fast without consuming an ordinal.
+        assert_eq!(out.swap_attempts, 2);
+        assert_eq!(out.swap_rejects, 4);
+        assert_eq!(out.swap_published, 0);
+        assert!(out.breaker_opened);
+        assert_eq!(out.completed, 4, "serving continues on the old model throughout");
+    }
+
+    #[test]
+    fn chaos_run_is_bit_deterministic() {
+        let m = ServiceModel::hep();
+        let rate = 1.5 * m.saturated_rate(8);
+        let arrivals: Vec<f64> = PoissonArrivals::new(29, rate, 300).collect();
+        let mut cfg = dyn_cfg(8, 5);
+        cfg.workers = 2;
+        cfg.deadline_secs = Some(0.5);
+        cfg.shed_watermark = Some(128);
+        cfg.swap_schedule = vec![0.1, 0.2];
+        cfg.faults = scidl_core::faults::serving_chaos();
+        let a = simulate(&m, &arrivals, &cfg);
+        let b = simulate(&m, &arrivals, &cfg);
+        assert_eq!(a.served_ids, b.served_ids);
+        assert_eq!(a.expired_ids, b.expired_ids);
+        assert_eq!(a.lost_ids, b.lost_ids);
+        assert_eq!(a.batch_sizes, b.batch_sizes);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.crashes, b.crashes);
     }
 }

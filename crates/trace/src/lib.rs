@@ -128,6 +128,51 @@ pub enum EventKind {
         /// Communication time hidden behind backward compute (s).
         hidden_s: f64,
     },
+    /// Requests shed by serving admission control or deadline expiry
+    /// (instant).
+    Shed {
+        /// Worker (expiry) or client lane (admission) the shed happened on.
+        worker: u64,
+        /// Number of requests shed in this event.
+        count: u64,
+        /// Queue depth at the moment of the shed.
+        depth: u64,
+        /// `"watermark"`, `"queue_full"`, `"deadline"` or `"closed"`.
+        reason: &'static str,
+    },
+    /// A client-side retry after a shed or lost worker (instant).
+    Retry {
+        /// 1-based retry attempt number.
+        attempt: u64,
+        /// Backoff the client slept before this attempt (s).
+        backoff_s: f64,
+    },
+    /// A serving worker slot respawned by the supervisor after a crash
+    /// or hang (instant).
+    WorkerRespawn {
+        /// Worker slot that was respawned.
+        worker: u64,
+        /// Incarnation number of the replacement (1 = first respawn).
+        incarnation: u64,
+        /// Exponential backoff the supervisor waited before respawning (s).
+        backoff_s: f64,
+        /// In-flight requests recovered and re-queued from the dead body.
+        requeued: u64,
+    },
+    /// A hot-swap attempt rejected before publication (instant).
+    SwapReject {
+        /// `"checksum"`, `"roundtrip"`, `"nonfinite"` or `"breaker_open"`.
+        reason: &'static str,
+        /// Consecutive rejected swaps so far (the breaker's counter).
+        failures: u64,
+    },
+    /// The hot-swap circuit breaker changing state (instant).
+    Breaker {
+        /// True when the breaker opened, false when it closed.
+        open: bool,
+        /// Consecutive failures at the transition.
+        failures: u64,
+    },
     /// A numeric-health alert (instant).
     Health(HealthAlert),
 }
@@ -146,6 +191,11 @@ impl EventKind {
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::BatchDispatch { .. } => "batch_dispatch",
             EventKind::Overlap { .. } => "overlap",
+            EventKind::Shed { .. } => "shed",
+            EventKind::Retry { .. } => "retry",
+            EventKind::WorkerRespawn { .. } => "worker_respawn",
+            EventKind::SwapReject { .. } => "swap_reject",
+            EventKind::Breaker { .. } => "breaker",
             EventKind::Health(_) => "nonfinite",
         }
     }
@@ -162,7 +212,12 @@ impl EventKind {
             | EventKind::PsService { .. }
             | EventKind::PsRespawn { .. } => "comm",
             EventKind::Checkpoint { .. } => "io",
-            EventKind::BatchDispatch { .. } => "serve",
+            EventKind::BatchDispatch { .. }
+            | EventKind::Shed { .. }
+            | EventKind::Retry { .. }
+            | EventKind::WorkerRespawn { .. }
+            | EventKind::SwapReject { .. }
+            | EventKind::Breaker { .. } => "serve",
             EventKind::Health(_) => "health",
         }
     }
@@ -200,6 +255,30 @@ impl EventKind {
             EventKind::Overlap { buckets, hidden_s } => {
                 push_kv_u64(out, "buckets", *buckets, true);
                 push_kv_f64(out, "hidden_s", *hidden_s, false);
+            }
+            EventKind::Shed { worker, count, depth, reason } => {
+                push_kv_u64(out, "worker", *worker, true);
+                push_kv_u64(out, "count", *count, false);
+                push_kv_u64(out, "depth", *depth, false);
+                push_kv_str(out, "reason", reason, false);
+            }
+            EventKind::Retry { attempt, backoff_s } => {
+                push_kv_u64(out, "attempt", *attempt, true);
+                push_kv_f64(out, "backoff_s", *backoff_s, false);
+            }
+            EventKind::WorkerRespawn { worker, incarnation, backoff_s, requeued } => {
+                push_kv_u64(out, "worker", *worker, true);
+                push_kv_u64(out, "incarnation", *incarnation, false);
+                push_kv_f64(out, "backoff_s", *backoff_s, false);
+                push_kv_u64(out, "requeued", *requeued, false);
+            }
+            EventKind::SwapReject { reason, failures } => {
+                push_kv_str(out, "reason", reason, true);
+                push_kv_u64(out, "failures", *failures, false);
+            }
+            EventKind::Breaker { open, failures } => {
+                out.push_str(if *open { "\"open\":true" } else { "\"open\":false" });
+                push_kv_u64(out, "failures", *failures, false);
             }
             EventKind::Health(alert) => {
                 push_kv_str(out, "source", alert.source, true);
@@ -893,6 +972,35 @@ mod tests {
         });
         let j = sink.chrome_json();
         assert!(j.contains("\"value\":\"NaN\""), "non-finite args must be quoted: {j}");
+    }
+
+    #[test]
+    fn serving_resilience_kinds_render_as_valid_trace_json() {
+        let sink = TraceSink::new();
+        let run = sink.begin_run("chaos");
+        sink.event_at(run, 0, 0.1, 0.0, EventKind::Shed {
+            worker: 0,
+            count: 3,
+            depth: 64,
+            reason: "watermark",
+        });
+        sink.event_at(run, 0, 0.2, 0.0, EventKind::Retry { attempt: 2, backoff_s: 0.004 });
+        sink.event_at(run, 1, 0.3, 0.0, EventKind::WorkerRespawn {
+            worker: 1,
+            incarnation: 1,
+            backoff_s: 0.001,
+            requeued: 4,
+        });
+        sink.event_at(run, 0, 0.4, 0.0, EventKind::SwapReject { reason: "roundtrip", failures: 2 });
+        sink.event_at(run, 0, 0.5, 0.0, EventKind::Breaker { open: true, failures: 3 });
+        let j = sink.chrome_json();
+        for name in ["shed", "retry", "worker_respawn", "swap_reject", "breaker"] {
+            assert!(j.contains(&format!("\"name\":\"{name}\"")), "{name} missing: {j}");
+        }
+        assert!(j.contains("\"reason\":\"watermark\""));
+        assert!(j.contains("\"open\":true"));
+        assert!(j.contains("\"requeued\":4"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -1,19 +1,25 @@
-//! Serving a trained HEP classifier with dynamic batching.
+//! Serving a trained HEP classifier with dynamic batching — and keeping
+//! it up under chaos.
 //!
 //! The end of the training story: a checkpoint written by the training
 //! loop is loaded into a `ModelRegistry` (verified bit-identical to the
-//! network that wrote it), a worker pool serves it through the dynamic
-//! batcher, a second checkpoint is hot-swapped in mid-stream, and the
-//! run closes with the queue-wait / compute latency split.
+//! network that wrote it), a supervised worker pool serves it through
+//! the dynamic batcher while a `FaultPlan` crashes a worker mid-batch,
+//! a corrupt checkpoint is rejected by the guarded hot-swap (the old
+//! model keeps serving), a healthy one swaps in with zero downtime, and
+//! the run closes with the queue-wait / compute latency split plus the
+//! supervisor's incident report.
 //!
 //! ```text
 //! cargo run --release --example inference_serving
 //! ```
 
+use scidl_cluster::faults::FaultPlan;
 use scidl_core::checkpoint::Checkpoint;
 use scidl_core::metrics::Summary;
 use scidl_serve::{
-    check_roundtrip, BatchPolicy, ModelRegistry, Server, ServerConfig, ServingModel,
+    check_roundtrip, BatchPolicy, ModelRegistry, RetryPolicy, Server, ServerConfig, ServingModel,
+    SwapError,
 };
 use scidl_tensor::{Shape4, TensorRng};
 use std::sync::Arc;
@@ -40,7 +46,7 @@ fn main() {
         model.iteration, model.seed
     );
 
-    // --- serve it through the dynamic batcher --------------------------
+    // --- serve it through the batcher while chaos crashes a worker -----
     let registry = Arc::new(ModelRegistry::new(model));
     let server = Server::start(
         Arc::clone(&registry),
@@ -48,39 +54,80 @@ fn main() {
             workers: 2,
             queue_capacity: 64,
             policy: BatchPolicy::dynamic(8, Duration::from_millis(5)),
+            // Declarative chaos: worker 0 panics mid-way through its
+            // first batch; the supervisor respawns it and requeues the
+            // in-flight requests.
+            faults: FaultPlan::none().with_worker_crash(0, 0, 0.005),
+            ..Default::default()
         },
     );
     let client = server.client();
 
+    let retry = RetryPolicy { deadline: Some(Duration::from_millis(500)), ..Default::default() };
     let mut xr = TensorRng::new(3);
     let pending: Vec<_> = (0..24)
         .map(|_| {
             let x = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
-            client.submit(x).expect("queue has room")
+            (x.clone(), client.submit(x).expect("queue has room"))
         })
         .collect();
     let mut batched = 0usize;
-    for rx in pending {
-        let r = rx.recv().expect("server answered");
+    let mut retried = 0usize;
+    for (x, rx) in pending {
+        // The crashed worker's in-flight batch is requeued by the
+        // supervisor, so most requests still resolve `Ok` on the first
+        // reply. Anything that comes back as a retryable error (or a
+        // dropped reply channel) goes through the bounded retry path.
+        let r = match rx.recv().unwrap_or(Err(scidl_serve::ServeError::WorkerLost)) {
+            Ok(r) => r,
+            Err(e) => {
+                assert!(e.is_retryable(), "terminal error under a healthy pool: {e}");
+                retried += 1;
+                client.infer_with_retry(x, &retry).expect("retry absorbs the crash")
+            }
+        };
         assert_eq!(r.logits.len(), scidl_nn::arch::HEP_CLASSES);
         assert_eq!(r.model_iteration, 1000);
         if r.batch_size > 1 {
             batched += 1;
         }
     }
-    println!("served 24 requests; {batched} rode in a coalesced batch");
+    println!(
+        "served 24 requests through an injected worker crash; \
+         {batched} rode in a coalesced batch, {retried} needed a client retry"
+    );
 
-    // --- hot-swap a newer snapshot while serving continues -------------
+    // --- a corrupt snapshot is rejected before publication -------------
     let mut rng2 = TensorRng::new(43);
     let newer = scidl_nn::arch::hep_small(&mut rng2);
     Checkpoint::capture(&newer, 2000, 43).save(&path).expect("checkpoint write");
+    let mut corrupt = std::fs::read(&path).expect("read checkpoint");
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    let mut bad_path = std::env::temp_dir();
+    bad_path.push("scidl_inference_serving_demo_corrupt.ckpt");
+    std::fs::write(&bad_path, &corrupt).expect("write corrupt checkpoint");
+
     let mut arch_rng2 = TensorRng::new(0);
-    registry
-        .load_and_swap(
-            &path,
+    let err = registry
+        .load_and_swap_guarded(
+            &bad_path,
             scidl_nn::arch::hep_small(&mut arch_rng2),
-            Some((&newer, &probe)),
+            &probe,
+            Some(&newer),
         )
+        .expect_err("bit-flipped checkpoint must not publish");
+    std::fs::remove_file(&bad_path).ok();
+    assert!(matches!(err, SwapError::Load(_)));
+    let x = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
+    let still = client.infer(x).expect("serve after rejected swap");
+    assert_eq!(still.model_iteration, 1000, "previous model keeps serving");
+    println!("corrupt checkpoint rejected ({err}); iteration 1000 kept serving");
+
+    // --- the healthy snapshot hot-swaps with zero downtime -------------
+    let mut arch_rng3 = TensorRng::new(0);
+    registry
+        .load_and_swap_guarded(&path, scidl_nn::arch::hep_small(&mut arch_rng3), &probe, Some(&newer))
         .expect("hot swap");
     std::fs::remove_file(&path).ok();
     let x = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
@@ -88,8 +135,8 @@ fn main() {
     assert_eq!(after.model_iteration, 2000, "new snapshot answers");
     println!("hot-swapped to iteration 2000 with zero downtime");
 
-    // --- the latency account -------------------------------------------
-    let recorder = server.shutdown();
+    // --- the latency account and the incident report -------------------
+    let (recorder, report) = server.shutdown_with_report();
     let fmt = |s: &Summary| {
         format!("p50 {:6.2} ms  p99 {:6.2} ms", s.p50 * 1e3, s.p99 * 1e3)
     };
@@ -101,4 +148,10 @@ fn main() {
         "  queue share of total: {:.0}%",
         recorder.queue_share().unwrap() * 100.0
     );
+    println!(
+        "incident report: {} panics, {} respawns, {} requeued, {} lost",
+        report.panics, report.respawns, report.requeued, report.worker_lost
+    );
+    assert!(report.panics >= 1, "the injected crash fired");
+    assert_eq!(report.worker_lost, 0, "requeue recovered every in-flight request");
 }

@@ -34,6 +34,7 @@ fn checkpoint_to_client_end_to_end() {
             workers: 2,
             queue_capacity: 32,
             policy: BatchPolicy::dynamic(4, Duration::from_millis(5)),
+            ..Default::default()
         },
     );
     let client = server.client();
@@ -42,7 +43,7 @@ fn checkpoint_to_client_end_to_end() {
     let inputs: Vec<_> = (0..12).map(|_| source.next_request()).collect();
     let rxs: Vec<_> = inputs.iter().map(|x| client.submit(x.clone()).unwrap()).collect();
     for (x, rx) in inputs.iter().zip(rxs) {
-        let got = rx.recv().unwrap();
+        let got = rx.recv().unwrap().expect("healthy pool answers every request");
         let want = registry.current().network.infer(x);
         assert_eq!(got.logits, want.item(0), "served logits must be bit-identical");
         assert_eq!(got.model_iteration, 500);
@@ -90,8 +91,12 @@ proptest! {
         for id in 0..n {
             match queue.submit(id) {
                 Ok(()) => accepted.insert(id),
-                Err(scidl_serve::QueueFull(back)) => {
-                    prop_assert_eq!(back, id, "rejection must hand the request back");
+                Err(e) => {
+                    prop_assert!(
+                        matches!(e, scidl_serve::SubmitError::Full { .. }),
+                        "pre-close rejections must be Full"
+                    );
+                    prop_assert_eq!(e.into_item(), id, "rejection must hand the request back");
                     rejected.insert(id)
                 }
             };
@@ -127,11 +132,11 @@ proptest! {
     ) {
         let model = ServiceModel::hep();
         let arrivals: Vec<f64> = PoissonArrivals::new(seed, rate, n).collect();
-        let cfg = SimConfig {
+        let cfg = SimConfig::new(
             workers,
-            queue_capacity: capacity,
-            policy: BatchPolicy::dynamic(max_batch, Duration::from_millis(delay_ms)),
-        };
+            capacity,
+            BatchPolicy::dynamic(max_batch, Duration::from_millis(delay_ms)),
+        );
         let out = simulate(&model, &arrivals, &cfg);
         let mut all: Vec<usize> = out.served_ids.iter().chain(&out.rejected_ids).copied().collect();
         all.sort_unstable();

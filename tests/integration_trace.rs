@@ -106,11 +106,7 @@ fn serving_sim_emits_batch_dispatch_rows_with_queue_compute_split() {
     // Offer ~2× the batch-8 saturated rate so batches queue up.
     let arrivals: Vec<f64> =
         PoissonArrivals::new(7, 2.0 * model.saturated_rate(8), 120).collect();
-    let cfg = SimConfig {
-        workers: 2,
-        queue_capacity: 256,
-        policy: BatchPolicy::dynamic(8, Duration::from_millis(2)),
-    };
+    let cfg = SimConfig::new(2, 256, BatchPolicy::dynamic(8, Duration::from_millis(2)));
 
     let mut jsons = Vec::new();
     let mut rows = Vec::new();
