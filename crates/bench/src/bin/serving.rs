@@ -24,12 +24,23 @@
 //! goodput stays positive under every fault level, and the storm cell
 //! replays bit-identically.
 //!
+//! With `--fleet` the bench sweeps the *fleet tier* instead: offered
+//! load × replica count × dispatch policy through the virtual-time
+//! fleet simulator (`scidl-serve::fleet`), under a skewed-load plan
+//! (every worker of replica 0 is a 4× straggler). Each cell reports
+//! throughput, p99, shed rate and replica-seconds cost, written to
+//! `results/serving_fleet.csv`. Acceptance there: at the saturating
+//! load factor, power-of-two-choices p99 must not exceed round-robin
+//! p99 for every fleet size — the depth probes must steer around the
+//! hot replica.
+//!
 //! ```text
-//! cargo run --release -p scidl-bench --bin serving [--smoke] [--faults]
+//! cargo run --release -p scidl-bench --bin serving [--smoke|--fast] [--faults] [--fleet]
 //! ```
 
 use scidl_bench::{csv, finish_trace, fnum, markdown_table, trace_from_args};
 use scidl_cluster::faults::FaultPlan;
+use scidl_serve::fleet::{simulate_fleet, DispatchPolicy, FleetSimConfig, SimAutoscaler, SimCanary};
 use scidl_serve::queue::BatchPolicy;
 use scidl_serve::sim::{simulate, ServiceModel, SimConfig, SimOutcome};
 use scidl_serve::PoissonArrivals;
@@ -378,14 +389,212 @@ fn degradation_frontier(model: &ServiceModel, n: usize) {
     println!("\n  acceptance: exactly-once accounting, positive goodput, deterministic storm — PASS");
 }
 
+/// Per-replica base config of every fleet cell: two workers, a deep
+/// queue (so the watermark does not truncate round-robin's tail under
+/// skew), dynamic-8 batching.
+fn fleet_base() -> SimConfig {
+    SimConfig::new(2, 512, BatchPolicy::dynamic(8, Duration::from_millis(5)))
+}
+
+/// Skewed-load chaos plan for a fleet cell: every worker of replica 0
+/// (global workers `0..wpr`) is a 4× straggler for its whole life.
+fn fleet_skew(base: &SimConfig) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for w in 0..base.workers {
+        plan = plan.with_slow_worker(w, 0, u64::MAX, 4.0);
+    }
+    plan
+}
+
+fn fleet_cell(
+    model: &ServiceModel,
+    replicas: usize,
+    dispatch: DispatchPolicy,
+    offered: f64,
+    n: usize,
+) -> scidl_serve::fleet::FleetSimOutcome {
+    let arrivals: Vec<f64> = PoissonArrivals::new(SEED, offered, n).collect();
+    let mut base = fleet_base();
+    base.faults = fleet_skew(&base);
+    let mut cfg = FleetSimConfig::new(replicas, base, dispatch);
+    cfg.seed = SEED;
+    simulate_fleet(model, &arrivals, &cfg)
+}
+
+fn fleet_frontier(model: &ServiceModel, n: usize) {
+    let base = fleet_base();
+    let per_rep = base.workers as f64 * model.saturated_rate(base.policy.max_batch);
+    println!(
+        "fleet serving frontier: offered load x replicas x dispatch policy, \
+         {} workers/replica, dynamic-{}, skewed load (replica 0 is a 4x straggler) \
+         (seed {SEED}, {n} requests/cell)\n",
+        base.workers, base.policy.max_batch
+    );
+    println!("per-replica nominal capacity: {} req/s\n", fnum(per_rep, 1));
+
+    let policies = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::LeastLoaded,
+        DispatchPolicy::PowerOfTwoChoices,
+    ];
+    let replica_counts = [2usize, 3, 4];
+    // Fraction of the fleet's *nominal* capacity (the skewed replica
+    // actually delivers a quarter of its share, so 0.8 saturates).
+    let load_factors = [0.4, 0.8];
+    const SATURATING: f64 = 0.8;
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut cells: Vec<(usize, f64, &'static str, f64)> = Vec::new();
+    for &replicas in &replica_counts {
+        for &f in &load_factors {
+            let offered = f * replicas as f64 * per_rep;
+            for d in policies {
+                let out = fleet_cell(model, replicas, d, offered, n);
+                assert_eq!(
+                    out.offered(),
+                    n,
+                    "every request must resolve exactly once ({} r{replicas} @ {offered:.0})",
+                    d.name()
+                );
+                let p99_ms = out.p99() * 1e3;
+                cells.push((replicas, f, d.name(), out.p99()));
+                rows.push(vec![
+                    format!("{} req/s", fnum(offered, 0)),
+                    replicas.to_string(),
+                    d.name().to_string(),
+                    out.completed.to_string(),
+                    format!("{} req/s", fnum(out.throughput(), 1)),
+                    format!("{} ms", fnum(p99_ms, 2)),
+                    format!("{}%", fnum(100.0 * out.shed_rate(), 1)),
+                    format!("{} s", fnum(out.replica_seconds, 2)),
+                ]);
+                csv_rows.push(vec![
+                    fnum(offered, 3),
+                    replicas.to_string(),
+                    d.name().to_string(),
+                    out.completed.to_string(),
+                    fnum(out.throughput(), 3),
+                    fnum(p99_ms, 4),
+                    fnum(out.shed_rate(), 4),
+                    fnum(out.replica_seconds, 4),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "offered",
+                "replicas",
+                "policy",
+                "served",
+                "throughput",
+                "p99",
+                "shed rate",
+                "replica-seconds",
+            ],
+            &rows
+        )
+    );
+
+    let csv_text = csv(
+        &[
+            "offered_rps",
+            "replicas",
+            "policy",
+            "served",
+            "throughput_rps",
+            "p99_ms",
+            "shed_rate",
+            "replica_seconds",
+        ],
+        &csv_rows,
+    );
+    std::fs::create_dir_all("results").ok();
+    match std::fs::write("results/serving_fleet.csv", &csv_text) {
+        Ok(()) => println!("fleet frontier written to results/serving_fleet.csv"),
+        Err(e) => println!("(could not write results/serving_fleet.csv: {e})"),
+    }
+
+    // --- acceptance: p2c p99 ≤ round-robin p99 under skewed load -------
+    println!("\nat the saturating load factor ({SATURATING} of nominal):");
+    for &replicas in &replica_counts {
+        let p99_of = |name: &str| {
+            cells
+                .iter()
+                .find(|(r, f, p, _)| *r == replicas && (*f - SATURATING).abs() < 1e-9 && *p == name)
+                .map(|(_, _, _, p99)| *p99)
+                .unwrap()
+        };
+        let rr = p99_of("round-robin");
+        let p2c = p99_of("p2c");
+        println!(
+            "  {replicas} replicas: round-robin p99 {} ms, p2c p99 {} ms",
+            fnum(rr * 1e3, 2),
+            fnum(p2c * 1e3, 2)
+        );
+        assert!(
+            p2c <= rr,
+            "acceptance: p2c p99 ({:.4}s) must not exceed round-robin p99 ({:.4}s) \
+             under skewed load at {replicas} replicas",
+            p2c,
+            rr
+        );
+    }
+    println!("  acceptance: p2c beats round-robin p99 under skew — PASS");
+
+    // --- autoscaler + canary demonstration (virtual time) --------------
+    let burst_rate = 3.0 * per_rep;
+    let mut arrivals: Vec<f64> = PoissonArrivals::new(SEED, burst_rate, n).collect();
+    let burst_end = *arrivals.last().unwrap();
+    for i in 0..40 {
+        arrivals.push(burst_end + 0.5 + i as f64 * 0.5);
+    }
+    let mut cfg = FleetSimConfig::new(1, fleet_base(), DispatchPolicy::LeastLoaded);
+    cfg.seed = SEED;
+    cfg.autoscaler = Some(SimAutoscaler {
+        min_replicas: 1,
+        max_replicas: 6,
+        tick_secs: 0.2,
+        startup_secs: 0.02,
+        scale_down_backlog: 4,
+        ..SimAutoscaler::default()
+    });
+    cfg.canary = Some(SimCanary {
+        start_secs: burst_end * 0.1,
+        decide_secs: burst_end * 0.9,
+        fraction: 0.2,
+        service_factor: 1.0,
+        regression_tol: 0.25,
+        candidate_iteration: 9000,
+    });
+    let out = simulate_fleet(model, &arrivals, &cfg);
+    println!(
+        "\nautoscaler + canary demo (burst at 3 replicas' load, then quiet): \
+         {} scale-ups, {} scale-downs, final {} replicas; canary {} \
+         (model iteration {}), {} canary-served requests",
+        out.scale_ups,
+        out.scale_downs,
+        out.final_replicas,
+        if out.canary_promoted { "promoted" } else { "rolled back" },
+        out.final_iteration,
+        out.canary_served
+    );
+}
+
 fn main() {
     let trace_path = trace_from_args();
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--fast");
     let faults = std::env::args().any(|a| a == "--faults");
+    let fleet = std::env::args().any(|a| a == "--fleet");
     let n = if smoke { 400 } else { 2000 };
 
     let model = ServiceModel::hep();
-    if faults {
+    if fleet {
+        fleet_frontier(&model, n);
+    } else if faults {
         degradation_frontier(&model, n);
     } else {
         frontier(&model, n);

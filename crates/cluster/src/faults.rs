@@ -320,6 +320,36 @@ impl FaultPlan {
             || !self.corrupt_swaps.is_empty()
     }
 
+    /// Slices a fleet-wide serving plan down to one replica's view.
+    ///
+    /// Fleet plans address serving workers by *global* index: replica
+    /// `r` owns global workers `r*workers_per_replica ..
+    /// (r+1)*workers_per_replica`. The returned plan re-indexes the
+    /// crashes and slow windows that land in that range to the replica's
+    /// *local* worker slots, so a per-replica `Server` (or simulated
+    /// replica) consumes exactly its share of the chaos. Registry-level
+    /// events (`corrupt_swaps`) and training events stay with the fleet
+    /// plan — they are not per-replica — so they are dropped here.
+    pub fn for_replica(&self, replica: usize, workers_per_replica: usize) -> FaultPlan {
+        assert!(workers_per_replica >= 1, "a replica needs at least one worker");
+        let lo = replica * workers_per_replica;
+        let hi = lo + workers_per_replica;
+        let mut p = FaultPlan::none();
+        p.worker_crashes = self
+            .worker_crashes
+            .iter()
+            .filter(|c| (lo..hi).contains(&c.worker))
+            .map(|c| WorkerCrash { worker: c.worker - lo, ..*c })
+            .collect();
+        p.slow_workers = self
+            .slow_workers
+            .iter()
+            .filter(|s| (lo..hi).contains(&s.worker))
+            .map(|s| SlowWorker { worker: s.worker - lo, ..*s })
+            .collect();
+        p
+    }
+
     /// The scheduled crash for PS `shard`, if any (earliest wins).
     pub fn ps_crash_for_shard(&self, shard: usize) -> Option<PsCrash> {
         self.ps_crashes
@@ -410,6 +440,29 @@ mod tests {
             !FaultPlan::none().with_group_crash(0, 1).has_serving_faults(),
             "training faults are not serving faults"
         );
+    }
+
+    #[test]
+    fn for_replica_slices_and_reindexes_serving_faults() {
+        let p = FaultPlan::none()
+            .with_worker_crash(0, 3, 0.05) // replica 0, local 0
+            .with_worker_crash(3, 1, 0.10) // replica 1, local 1
+            .with_slow_worker(2, 2, 6, 3.0) // replica 1, local 0
+            .with_slow_worker(5, 0, 4, 2.0) // replica 2, local 1
+            .with_corrupt_swap(0) // registry-level: stays with the fleet
+            .with_group_crash(0, 1); // training event: not per-replica
+        let r0 = p.for_replica(0, 2);
+        assert_eq!(r0.worker_crashes, vec![WorkerCrash { worker: 0, after_batches: 3, respawn_secs: 0.05 }]);
+        assert!(r0.slow_workers.is_empty());
+        assert!(r0.corrupt_swaps.is_empty(), "swap faults are fleet-level");
+        assert!(r0.group_crashes.is_empty(), "training faults dropped");
+        let r1 = p.for_replica(1, 2);
+        assert_eq!(r1.worker_crashes, vec![WorkerCrash { worker: 1, after_batches: 1, respawn_secs: 0.10 }]);
+        assert_eq!(r1.slow_workers, vec![SlowWorker { worker: 0, from_batch: 2, to_batch: 6, factor: 3.0 }]);
+        let r2 = p.for_replica(2, 2);
+        assert_eq!(r2.slow_workers.len(), 1);
+        assert_eq!(r2.slow_workers[0].worker, 1);
+        assert!(p.for_replica(3, 2).is_empty(), "replicas past the plan see nothing");
     }
 
     #[test]

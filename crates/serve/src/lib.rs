@@ -34,16 +34,26 @@
 //!   inputs ([`PoissonArrivals`]),
 //! * [`sim`] — deterministic virtual-time replay of the same semantics
 //!   (including chaos) against the calibrated KNL cost model
-//!   ([`simulate`]), which is what `scidl-bench serving` sweeps.
+//!   ([`simulate`]), which is what `scidl-bench serving` sweeps,
+//! * [`fleet`] — the fleet tier: a replicated [`Router`] with pluggable
+//!   dispatch, fleet-level priority admission, an SLO autoscaler and
+//!   canary rollouts, mirrored bit-deterministically by
+//!   [`simulate_fleet`] (what `scidl-bench serving --fleet` sweeps).
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod loadgen;
 pub mod queue;
 pub mod registry;
 pub mod server;
 pub mod sim;
 
+pub use fleet::{
+    simulate_fleet, AutoscalerConfig, CanaryConfig, CanaryDecision, DispatchPolicy, FleetConfig,
+    FleetReport, FleetSimConfig, FleetSimOutcome, Priority, PriorityAdmission, Router,
+    SimAutoscaler, SimCanary,
+};
 pub use loadgen::{HepRequestSource, PoissonArrivals};
 pub use queue::{BatchPolicy, BatchQueue, Popped, SubmitError};
 pub use registry::{check_roundtrip, ModelRegistry, ServingModel, SwapError};

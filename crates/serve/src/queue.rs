@@ -260,6 +260,11 @@ impl<T> BatchQueue<T> {
     pub fn pop_expiring(&self, policy: &BatchPolicy) -> Option<Popped<T>> {
         let mut g = self.inner.lock().unwrap();
         loop {
+            // One timestamp per former pass: expiry, batch readiness,
+            // queue-wait accounting and the park decision all observe
+            // the same `now`, so a single request can never straddle two
+            // clock reads and be both shed as expired *and* batched (or
+            // double-counted) within one tick.
             let now = Instant::now();
             let expired = Self::extract_expired(&mut g, now);
             let batch_ready = !g.items.is_empty()
@@ -267,7 +272,7 @@ impl<T> BatchQueue<T> {
                     || g.closed
                     || now >= g.items[0].arrived + policy.max_delay);
             if batch_ready {
-                return Some(Popped { batch: Self::drain(&mut g, policy.max_batch), expired });
+                return Some(Popped { batch: Self::drain(&mut g, policy.max_batch, now), expired });
             }
             if !expired.is_empty() {
                 // Shed promptly: don't hold the expired requests' typed
@@ -289,7 +294,6 @@ impl<T> BatchQueue<T> {
                     wake = wake.min(d);
                 }
             }
-            let now = Instant::now();
             if now >= wake {
                 continue;
             }
@@ -329,9 +333,8 @@ impl<T> BatchQueue<T> {
         expired
     }
 
-    fn drain(g: &mut Inner<T>, max_batch: usize) -> Vec<(T, Duration)> {
+    fn drain(g: &mut Inner<T>, max_batch: usize, now: Instant) -> Vec<(T, Duration)> {
         let k = g.items.len().min(max_batch);
-        let now = Instant::now();
         g.items
             .drain(..k)
             .map(|p| (p.item, now.saturating_duration_since(p.arrived)))
@@ -562,6 +565,36 @@ mod tests {
         all.sort_unstable();
         let expect: Vec<usize> = (0..N).collect();
         assert_eq!(all, expect, "every request exactly once, none lost to a missed wakeup");
+    }
+
+    /// Regression (fleet satellite): the batch former takes exactly one
+    /// timestamp per pass, so every popped request lands in *either*
+    /// `expired` or `batch`, never both and never neither — even when
+    /// deadlines race the pop. Hammers the boundary with deadlines that
+    /// straddle "now" and checks the dispositions partition the ids.
+    #[test]
+    fn one_timestamp_per_pass_partitions_dispositions() {
+        let policy = BatchPolicy::dynamic(64, Duration::ZERO);
+        for round in 0..200u64 {
+            let q = BatchQueue::new(64);
+            let now = Instant::now();
+            for i in 0..8u64 {
+                let id = round * 8 + i;
+                // Deadlines from "already expired" through "a few µs out":
+                // some will flip to expired between submit and pop.
+                let d = now + Duration::from_micros(i * 3);
+                q.submit_with_deadline(id, Some(d)).unwrap();
+            }
+            let mut seen: Vec<u64> = Vec::new();
+            while !q.is_empty() {
+                let popped = q.pop_expiring(&policy).unwrap();
+                seen.extend(popped.expired.iter().copied());
+                seen.extend(popped.batch.iter().map(|(id, _)| *id));
+            }
+            seen.sort_unstable();
+            let expect: Vec<u64> = (round * 8..round * 8 + 8).collect();
+            assert_eq!(seen, expect, "each request exactly one disposition");
+        }
     }
 
     #[test]

@@ -205,6 +205,54 @@ impl ModelRegistry {
         std::mem::replace(&mut *self.active.write().unwrap(), Arc::new(model))
     }
 
+    /// Atomically publishes an already-shared snapshot, returning the
+    /// previous one. This is the canary-promotion path: the candidate has
+    /// been serving live traffic on a canary replica (so it is already
+    /// behind an `Arc`), and promotion moves that exact snapshot to the
+    /// whole fleet without reloading or copying the network.
+    pub fn publish(&self, model: Arc<ServingModel>) -> Arc<ServingModel> {
+        std::mem::replace(&mut *self.active.write().unwrap(), model)
+    }
+
+    /// Charges one rollout failure (e.g. a canary auto-rollback) against
+    /// the swap circuit breaker: the counter advances and the breaker
+    /// opens at the threshold, exactly as a rejected guarded swap would.
+    /// Returns `true` when the breaker is open after the charge. A
+    /// rollout failure consumes no swap-attempt ordinal — nothing was
+    /// loaded.
+    pub fn record_rollout_failure(&self, reason: &'static str) -> bool {
+        let mut b = self.breaker.lock().unwrap();
+        b.consecutive_failures += 1;
+        let failures = b.consecutive_failures;
+        let opened = !b.open && failures >= self.breaker_threshold;
+        if opened {
+            b.open = true;
+        }
+        let open = b.open;
+        drop(b);
+        let tr = scidl_trace::TraceHandle::current();
+        if tr.enabled() {
+            tr.instant(u64::MAX, scidl_trace::EventKind::SwapReject {
+                reason,
+                failures: failures as u64,
+            });
+            if opened {
+                tr.instant(u64::MAX, scidl_trace::EventKind::Breaker {
+                    open: true,
+                    failures: failures as u64,
+                });
+            }
+        }
+        open
+    }
+
+    /// Records a healthy rollout (e.g. a promoted canary): fully clears
+    /// the consecutive-failure count, mirroring a successful guarded
+    /// swap.
+    pub fn record_rollout_success(&self) {
+        self.breaker.lock().unwrap().consecutive_failures = 0;
+    }
+
     /// Loads a checkpoint and hot-swaps it in. When `verify` is given as
     /// `(source, probe)`, the round-trip guarantee is checked *before*
     /// publication and the swap refused on any drift.
@@ -580,6 +628,124 @@ mod tests {
         reg.load_and_swap_guarded(&path, hep_small(&mut rng4), &probe, Some(&source)).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(reg.current().iteration, 9);
+        assert!(!reg.breaker_open());
+    }
+
+    /// Satellite regression: `reset_breaker` is not an amnesty — it only
+    /// zeroes the streak. A *fresh* failure streak after the reset must
+    /// reopen the breaker at the same threshold.
+    #[test]
+    fn breaker_reopens_after_reset_and_another_failure_streak() {
+        let mut rng = TensorRng::new(70);
+        let source = hep_small(&mut rng);
+        let path = tmp("breaker_reopen");
+        Checkpoint::capture(&source, 9, 1).save(&path).unwrap();
+
+        let mut rngr = TensorRng::new(71);
+        // Attempts 0,1 corrupt (first streak) and 2,3 corrupt (second
+        // streak after the reset).
+        let reg = ModelRegistry::new(ServingModel::new(hep_small(&mut rngr), 7, 0))
+            .with_breaker_threshold(2)
+            .with_faults(
+                FaultPlan::none()
+                    .with_corrupt_swap(0)
+                    .with_corrupt_swap(1)
+                    .with_corrupt_swap(2)
+                    .with_corrupt_swap(3),
+            );
+        let mut xr = TensorRng::new(72);
+        let probe = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
+
+        for _ in 0..2 {
+            let mut rng2 = TensorRng::new(73);
+            reg.load_and_swap_guarded(&path, hep_small(&mut rng2), &probe, Some(&source))
+                .unwrap_err();
+        }
+        assert!(reg.breaker_open());
+        reg.reset_breaker();
+        assert!(!reg.breaker_open());
+        assert_eq!(reg.consecutive_failures(), 0, "reset zeroes the streak");
+
+        // One failure after reset: still closed (streak restarted at 0).
+        let mut rng3 = TensorRng::new(74);
+        reg.load_and_swap_guarded(&path, hep_small(&mut rng3), &probe, Some(&source))
+            .unwrap_err();
+        assert!(!reg.breaker_open(), "one post-reset failure is below threshold");
+        assert_eq!(reg.consecutive_failures(), 1);
+
+        // Second failure of the new streak: reopens.
+        let mut rng4 = TensorRng::new(75);
+        reg.load_and_swap_guarded(&path, hep_small(&mut rng4), &probe, Some(&source))
+            .unwrap_err();
+        assert!(reg.breaker_open(), "a fresh streak reopens the breaker");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reg.current().iteration, 7, "nothing was ever published");
+    }
+
+    /// Satellite regression: a successful guarded swap fully clears the
+    /// consecutive-failure count — a later isolated failure starts a new
+    /// streak from zero instead of inheriting pre-success failures.
+    #[test]
+    fn successful_guarded_swap_clears_failure_streak() {
+        let mut rng = TensorRng::new(76);
+        let source = hep_small(&mut rng);
+        let path = tmp("success_clears");
+        Checkpoint::capture(&source, 9, 1).save(&path).unwrap();
+
+        let mut rngr = TensorRng::new(77);
+        // Attempts 0,1 corrupt; attempt 2 healthy; attempt 3 corrupt.
+        // Threshold 3: without the clear-on-success, attempt 3 would be
+        // the third cumulative failure and would wrongly open the breaker.
+        let reg = ModelRegistry::new(ServingModel::new(hep_small(&mut rngr), 7, 0))
+            .with_breaker_threshold(3)
+            .with_faults(
+                FaultPlan::none().with_corrupt_swap(0).with_corrupt_swap(1).with_corrupt_swap(3),
+            );
+        let mut xr = TensorRng::new(78);
+        let probe = xr.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0);
+
+        for _ in 0..2 {
+            let mut rng2 = TensorRng::new(79);
+            reg.load_and_swap_guarded(&path, hep_small(&mut rng2), &probe, Some(&source))
+                .unwrap_err();
+        }
+        assert_eq!(reg.consecutive_failures(), 2);
+        let mut rng3 = TensorRng::new(80);
+        reg.load_and_swap_guarded(&path, hep_small(&mut rng3), &probe, Some(&source)).unwrap();
+        assert_eq!(reg.consecutive_failures(), 0, "success fully clears the streak");
+        assert_eq!(reg.current().iteration, 9);
+
+        let mut rng4 = TensorRng::new(81);
+        reg.load_and_swap_guarded(&path, hep_small(&mut rng4), &probe, Some(&source))
+            .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reg.consecutive_failures(), 1, "new streak starts from zero");
+        assert!(!reg.breaker_open(), "isolated post-success failure must not open");
+        assert_eq!(reg.current().iteration, 9, "the promoted model keeps serving");
+    }
+
+    /// Fleet hooks: `publish` moves a shared snapshot in atomically, and
+    /// rollout failures charge the same breaker as rejected swaps.
+    #[test]
+    fn publish_and_rollout_hooks_drive_the_breaker() {
+        let mut rng = TensorRng::new(82);
+        let reg = ModelRegistry::new(ServingModel::new(hep_small(&mut rng), 1, 0))
+            .with_breaker_threshold(2);
+        let mut rng2 = TensorRng::new(83);
+        let candidate = Arc::new(ServingModel::new(hep_small(&mut rng2), 5, 0));
+
+        let old = reg.publish(Arc::clone(&candidate));
+        assert_eq!(old.iteration, 1);
+        assert!(Arc::ptr_eq(&reg.current(), &candidate), "the exact snapshot is published");
+
+        assert!(!reg.record_rollout_failure("canary_slo"), "first failure stays closed");
+        assert_eq!(reg.consecutive_failures(), 1);
+        reg.record_rollout_success();
+        assert_eq!(reg.consecutive_failures(), 0, "rollout success clears the streak");
+        assert!(!reg.record_rollout_failure("canary_slo"));
+        assert!(reg.record_rollout_failure("canary_slo"), "threshold reached: opens");
+        assert!(reg.breaker_open());
+        reg.reset_breaker();
         assert!(!reg.breaker_open());
     }
 }

@@ -1167,6 +1167,47 @@ mod tests {
     }
 
     #[test]
+    fn retry_budget_is_shared_across_client_clones() {
+        // Regression pin: every clone of a Client (and every client()
+        // call on the same server) must share ONE retry budget. If a
+        // clone got its own bucket, N clones could retry N times the
+        // intended amplification during an outage — the retry storm the
+        // budget exists to prevent.
+        let reg = registry(46, 0);
+        let server = Server::start(reg, ServerConfig::default());
+        let a = server.client();
+        let b = a.clone();
+        let c = server.client();
+        assert!(
+            std::ptr::eq(a.retry_budget(), b.retry_budget()),
+            "a clone must share its parent's budget"
+        );
+        assert!(
+            std::ptr::eq(a.retry_budget(), c.retry_budget()),
+            "every client() handle must share the server-wide budget"
+        );
+        let burst = a.retry_budget().available();
+        assert!(burst >= 1);
+        // Draining through one clone is visible through every other:
+        // the combined fleet of clones cannot exceed the shared burst.
+        let mut drained = 0u32;
+        while b.retry_budget().try_withdraw() {
+            drained += 1;
+        }
+        assert_eq!(drained, burst);
+        assert_eq!(a.retry_budget().available(), 0);
+        assert_eq!(c.retry_budget().available(), 0);
+        assert!(!a.retry_budget().try_withdraw(), "no clone may overdraw");
+        // Successes deposit back into the same shared bucket (default
+        // ratio 0.1: ten successes buy one retry).
+        for _ in 0..10 {
+            c.retry_budget().on_success();
+        }
+        assert_eq!(a.retry_budget().available(), 1);
+        server.shutdown();
+    }
+
+    #[test]
     fn slow_worker_fault_stretches_compute() {
         let reg = registry(45, 0);
         let cfg = ServerConfig {

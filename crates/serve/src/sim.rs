@@ -129,6 +129,11 @@ pub struct SimConfig {
     /// Virtual times of hot-swap attempts (replayed through the breaker
     /// model; corruption comes from `faults.swap_is_corrupt`).
     pub swap_schedule: Vec<f64>,
+    /// Virtual times at which an operator calls
+    /// `ModelRegistry::reset_breaker`: the breaker closes and the
+    /// consecutive-failure streak restarts from zero. A reset scheduled
+    /// at the same instant as a swap attempt takes effect first.
+    pub breaker_resets: Vec<f64>,
     /// Consecutive bad swaps that open the breaker.
     pub breaker_threshold: u32,
     /// Re-queues a request survives after losing its worker before it
@@ -149,6 +154,7 @@ impl SimConfig {
             deadline_secs: None,
             faults: FaultPlan::none(),
             swap_schedule: Vec::new(),
+            breaker_resets: Vec::new(),
             breaker_threshold: 3,
             max_requeues: 2,
         }
@@ -410,11 +416,36 @@ impl SimState<'_> {
     /// without consuming an attempt ordinal, exactly like
     /// `ModelRegistry::load_and_swap_guarded`.
     fn replay_swaps(&mut self) {
-        let mut schedule = self.cfg.swap_schedule.clone();
-        schedule.sort_by(f64::total_cmp);
+        // Merge swap attempts and operator breaker resets into one
+        // time-ordered schedule; a reset coinciding with an attempt
+        // applies first (rank 0 < 1), mirroring the threaded test
+        // sequence reset-then-swap.
+        let mut schedule: Vec<(f64, bool)> = self
+            .cfg
+            .swap_schedule
+            .iter()
+            .map(|&t| (t, false))
+            .chain(self.cfg.breaker_resets.iter().map(|&t| (t, true)))
+            .collect();
+        schedule.sort_by(|a, b| {
+            f64::total_cmp(&a.0, &b.0).then((!a.1).cmp(&(!b.1)))
+        });
         let mut failures = 0u32;
         let mut open = false;
-        for &t in &schedule {
+        for &(t, is_reset) in &schedule {
+            if is_reset {
+                failures = 0;
+                if open {
+                    open = false;
+                    if self.tr.enabled() {
+                        self.tr.event_at(u64::MAX, t, 0.0, scidl_trace::EventKind::Breaker {
+                            open: false,
+                            failures: 0,
+                        });
+                    }
+                }
+                continue;
+            }
             if open {
                 self.out.swap_rejects += 1;
                 if self.tr.enabled() {
@@ -739,6 +770,46 @@ mod tests {
         assert_eq!(out.swap_published, 0);
         assert!(out.breaker_opened);
         assert_eq!(out.completed, 4, "serving continues on the old model throughout");
+    }
+
+    /// Satellite regression (sim mirror of the registry tests): a
+    /// breaker reset closes the breaker and restarts the streak — a
+    /// fresh failure streak reopens it — and a published (successful)
+    /// swap fully clears the consecutive-failure count.
+    #[test]
+    fn breaker_reset_and_success_semantics_replay_in_virtual_time() {
+        let m = ServiceModel::hep();
+        let arrivals: Vec<f64> = (0..4).map(|i| i as f64 * 0.01).collect();
+
+        // Corrupt attempts 0,1 open (threshold 2); reset at 0.025; then
+        // corrupt attempts 2,3 — a fresh streak — must reopen.
+        let mut cfg = dyn_cfg(4, 1);
+        cfg.breaker_threshold = 2;
+        cfg.swap_schedule = vec![0.01, 0.02, 0.03, 0.04];
+        cfg.breaker_resets = vec![0.025];
+        cfg.faults = FaultPlan::none()
+            .with_corrupt_swap(0)
+            .with_corrupt_swap(1)
+            .with_corrupt_swap(2)
+            .with_corrupt_swap(3);
+        let out = simulate(&m, &arrivals, &cfg);
+        assert_eq!(out.swap_attempts, 4, "reset closes the breaker: attempts 2,3 reach validation");
+        assert_eq!(out.swap_rejects, 4);
+        assert_eq!(out.swap_published, 0);
+        assert!(out.breaker_opened, "the fresh post-reset streak reopens the breaker");
+
+        // Success clears the streak: corrupt 0,1 with a healthy attempt
+        // between them (threshold 2) never opens — mirroring
+        // `successful_guarded_swap_clears_failure_streak`.
+        let mut cfg2 = dyn_cfg(4, 1);
+        cfg2.breaker_threshold = 2;
+        cfg2.swap_schedule = vec![0.01, 0.02, 0.03];
+        cfg2.faults = FaultPlan::none().with_corrupt_swap(0).with_corrupt_swap(2);
+        let out2 = simulate(&m, &arrivals, &cfg2);
+        assert_eq!(out2.swap_attempts, 3);
+        assert_eq!(out2.swap_published, 1);
+        assert_eq!(out2.swap_rejects, 2);
+        assert!(!out2.breaker_opened, "the published swap resets the streak");
     }
 
     #[test]

@@ -173,6 +173,38 @@ pub enum EventKind {
         /// Consecutive failures at the transition.
         failures: u64,
     },
+    /// A fleet router dispatch decision (instant).
+    Route {
+        /// Replica id the request was sent to.
+        replica: u64,
+        /// Queue depth of the chosen replica at dispatch time.
+        depth: u64,
+        /// `"round-robin"`, `"least-loaded"`, `"p2c"` or `"canary"`.
+        policy: &'static str,
+    },
+    /// The autoscaler adding a replica (instant).
+    ScaleUp {
+        /// Live replica count *after* the scale-up.
+        replicas: u64,
+        /// Total fleet backlog that triggered the decision.
+        backlog: u64,
+    },
+    /// The autoscaler draining and retiring a replica (instant).
+    ScaleDown {
+        /// Live replica count *after* the scale-down.
+        replicas: u64,
+        /// Total fleet backlog at the decision.
+        backlog: u64,
+    },
+    /// A canary rollout transition (instant).
+    Canary {
+        /// `"begin"`, `"promote"` or `"rollback"`.
+        action: &'static str,
+        /// Canary replica id.
+        replica: u64,
+        /// Traffic fraction routed to the canary.
+        fraction: f64,
+    },
     /// A numeric-health alert (instant).
     Health(HealthAlert),
 }
@@ -196,6 +228,10 @@ impl EventKind {
             EventKind::WorkerRespawn { .. } => "worker_respawn",
             EventKind::SwapReject { .. } => "swap_reject",
             EventKind::Breaker { .. } => "breaker",
+            EventKind::Route { .. } => "route",
+            EventKind::ScaleUp { .. } => "scale_up",
+            EventKind::ScaleDown { .. } => "scale_down",
+            EventKind::Canary { .. } => "canary",
             EventKind::Health(_) => "nonfinite",
         }
     }
@@ -217,7 +253,11 @@ impl EventKind {
             | EventKind::Retry { .. }
             | EventKind::WorkerRespawn { .. }
             | EventKind::SwapReject { .. }
-            | EventKind::Breaker { .. } => "serve",
+            | EventKind::Breaker { .. }
+            | EventKind::Route { .. }
+            | EventKind::ScaleUp { .. }
+            | EventKind::ScaleDown { .. }
+            | EventKind::Canary { .. } => "serve",
             EventKind::Health(_) => "health",
         }
     }
@@ -279,6 +319,20 @@ impl EventKind {
             EventKind::Breaker { open, failures } => {
                 out.push_str(if *open { "\"open\":true" } else { "\"open\":false" });
                 push_kv_u64(out, "failures", *failures, false);
+            }
+            EventKind::Route { replica, depth, policy } => {
+                push_kv_u64(out, "replica", *replica, true);
+                push_kv_u64(out, "depth", *depth, false);
+                push_kv_str(out, "policy", policy, false);
+            }
+            EventKind::ScaleUp { replicas, backlog } | EventKind::ScaleDown { replicas, backlog } => {
+                push_kv_u64(out, "replicas", *replicas, true);
+                push_kv_u64(out, "backlog", *backlog, false);
+            }
+            EventKind::Canary { action, replica, fraction } => {
+                push_kv_str(out, "action", action, true);
+                push_kv_u64(out, "replica", *replica, false);
+                push_kv_f64(out, "fraction", *fraction, false);
             }
             EventKind::Health(alert) => {
                 push_kv_str(out, "source", alert.source, true);

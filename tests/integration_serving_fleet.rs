@@ -1,0 +1,326 @@
+//! Fleet-tier acceptance: the same seed and `FaultPlan` (global worker
+//! indices) drive BOTH the threaded `Router` and the virtual-time fleet
+//! simulator, proving:
+//!
+//! * exactly-once terminal outcomes fleet-wide under replica-crash
+//!   chaos — a replica that loses its pool is retired and its work
+//!   rerouted to a sibling, never dropped or answered twice,
+//! * a canary rollback on an injected SLO regression leaves the old
+//!   model serving (and charges the registry's circuit breaker),
+//! * the autoscaler converges the replica count within its configured
+//!   band,
+//! * a seeded fleet simulation replays bit-identically.
+
+use scidl_cluster::faults::FaultPlan;
+use scidl_serve::fleet::{
+    simulate_fleet, AutoscalerConfig, CanaryConfig, CanaryDecision, DispatchPolicy, FleetConfig,
+    FleetSimConfig, SimAutoscaler, SimCanary,
+};
+use scidl_serve::queue::BatchPolicy;
+use scidl_serve::sim::{ServiceModel, SimConfig};
+use scidl_serve::{
+    ModelRegistry, PoissonArrivals, ServeError, ServerConfig, ServingModel, SupervisorConfig,
+};
+use scidl_tensor::{Shape4, Tensor, TensorRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 4242;
+
+fn probe(seed: u64) -> Tensor {
+    let mut rng = TensorRng::new(seed);
+    rng.uniform_tensor(Shape4::new(1, 3, 32, 32), -1.0, 1.0)
+}
+
+fn registry(seed: u64, iteration: u64) -> Arc<ModelRegistry> {
+    let mut rng = TensorRng::new(seed);
+    Arc::new(ModelRegistry::new(ServingModel::new(
+        scidl_nn::arch::hep_small(&mut rng),
+        iteration,
+        seed,
+    )))
+}
+
+/// The shared chaos plan: replica 0's only worker (global worker 0)
+/// crashes after its first batch and effectively never respawns — a
+/// replica loss.
+fn replica_loss_plan() -> FaultPlan {
+    FaultPlan::none().with_worker_crash(0, 1, 1e6)
+}
+
+/// Replica-crash chaos against real threads: one-worker replicas with a
+/// zero-respawn supervisor turn the injected crash into a pool loss;
+/// the router must retire the dead replica, reroute its in-flight work,
+/// and still deliver exactly one terminal outcome per request.
+#[test]
+fn threaded_router_survives_replica_loss_with_exactly_once_outcomes() {
+    let plan = replica_loss_plan();
+    let reg = registry(31, 1);
+    let template = ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        policy: BatchPolicy::dynamic(4, Duration::from_millis(2)),
+        // No respawns: the crashed worker's death is the replica's death.
+        supervisor: SupervisorConfig { max_respawns: 0, ..Default::default() },
+        ..Default::default()
+    };
+    let mut cfg = FleetConfig::new(2, template, DispatchPolicy::RoundRobin);
+    cfg.seed = SEED;
+    cfg.reroute_budget = 2;
+    cfg.faults = plan;
+    let router = Arc::new(scidl_serve::Router::start(Arc::clone(&reg), cfg));
+
+    let mut producers = Vec::new();
+    for p in 0..4u64 {
+        let router = Arc::clone(&router);
+        producers.push(std::thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            for i in 0..12u64 {
+                outcomes.push(router.infer_with_priority(
+                    probe(200 + p * 64 + i),
+                    scidl_serve::Priority::Standard,
+                    Some(Duration::from_millis(500)),
+                ));
+            }
+            outcomes
+        }));
+    }
+
+    let mut ok = 0u64;
+    let mut typed = 0u64;
+    for h in producers {
+        for outcome in h.join().expect("producer panicked") {
+            match outcome {
+                Ok(r) => {
+                    assert!(r.logits.iter().all(|v| v.is_finite()));
+                    assert_eq!(r.model_iteration, 1);
+                    ok += 1;
+                }
+                Err(
+                    ServeError::Shed { .. }
+                    | ServeError::DeadlineExceeded
+                    | ServeError::WorkerLost
+                    | ServeError::Closed,
+                ) => typed += 1,
+                Err(e) => panic!("non-terminal outcome {e}"),
+            }
+        }
+    }
+    // Exactly-once fleet-wide: the joins completing proves no reply
+    // channel was stranded, and every request has one terminal outcome.
+    assert_eq!(ok + typed, 48);
+
+    let router = Arc::try_unwrap(router).ok().expect("producers joined");
+    let (recorder, report) = router.shutdown_with_report();
+    assert_eq!(report.routed, ok, "router routed-counter == delivered replies");
+    assert_eq!(recorder.len() as u64, ok, "one latency sample per served request");
+    assert!(
+        report.servers.panics >= 1,
+        "the injected crash must fire: {report:?}"
+    );
+    assert!(
+        report.final_replicas <= 2,
+        "the dead replica must not outlive its pool"
+    );
+    assert!(ok >= 1, "the surviving replica must keep serving");
+}
+
+/// The same plan in virtual time: the crash orphans replica 0's queue,
+/// every orphan reroutes to replica 1 (same global-index plan, same
+/// seed), the terminal categories partition the arrivals exactly, and
+/// the whole run replays bit-identically.
+#[test]
+fn fleet_sim_same_plan_reroutes_and_replays_bit_identically() {
+    let model = ServiceModel::hep();
+    let mut base = SimConfig::new(1, 64, BatchPolicy::dynamic(4, Duration::from_millis(2)));
+    base.faults = replica_loss_plan();
+    base.max_requeues = 0;
+    base.deadline_secs = Some(0.5);
+    let mut cfg = FleetSimConfig::new(2, base, DispatchPolicy::RoundRobin);
+    cfg.seed = SEED;
+    cfg.reroute_budget = 2;
+    let arrivals: Vec<f64> = PoissonArrivals::new(SEED, 400.0, 300).collect();
+
+    let out = simulate_fleet(&model, &arrivals, &cfg);
+    assert_eq!(out.crashes, 1, "the shared plan's crash fires in virtual time");
+    assert!(out.rerouted >= 1, "orphans must cross to the surviving replica");
+    assert_eq!(out.final_replicas, 2, "the sim replica keeps its (dead) slot");
+    let mut all: Vec<usize> = out
+        .served_ids
+        .iter()
+        .chain(&out.rejected_ids)
+        .chain(&out.expired_ids)
+        .chain(&out.lost_ids)
+        .copied()
+        .collect();
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..arrivals.len()).collect::<Vec<_>>(),
+        "terminal outcomes must partition the arrivals exactly once"
+    );
+    assert_eq!(out.offered(), arrivals.len());
+
+    let again = simulate_fleet(&model, &arrivals, &cfg);
+    assert_eq!(out.served_ids, again.served_ids, "seeded replay must be bit-identical");
+    assert_eq!(out.lost_ids, again.lost_ids);
+    assert_eq!(out.batch_sizes, again.batch_sizes);
+    assert_eq!(out.makespan.to_bits(), again.makespan.to_bits());
+    assert_eq!(out.p99().to_bits(), again.p99().to_bits());
+    assert_eq!(out.replica_seconds.to_bits(), again.replica_seconds.to_bits());
+}
+
+/// Threaded canary rollback: the candidate replica carries a 30×
+/// straggler plan (the injected SLO regression); the decision must be a
+/// rollback that leaves the old model serving and charges the breaker.
+#[test]
+fn threaded_canary_rolls_back_slo_regression_and_old_model_keeps_serving() {
+    let reg = registry(32, 1);
+    let template = ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        policy: BatchPolicy::dynamic(4, Duration::from_millis(1)),
+        ..Default::default()
+    };
+    let mut cfg = FleetConfig::new(2, template, DispatchPolicy::LeastLoaded);
+    cfg.seed = SEED;
+    let router = scidl_serve::Router::start(Arc::clone(&reg), cfg);
+
+    let mut rng = TensorRng::new(33);
+    let candidate = ServingModel::new(scidl_nn::arch::hep_small(&mut rng), 777, 33);
+    let ccfg = CanaryConfig { fraction: 0.5, regression_tol: 0.5, min_samples: 5 };
+    let slow = FaultPlan::none().with_slow_worker(0, 0, u64::MAX, 30.0);
+    router.begin_canary(candidate, ccfg, slow).expect("canary must start");
+
+    let mut decision = CanaryDecision::Pending;
+    for i in 0..300u64 {
+        router.infer(probe(400 + i)).expect("infer must succeed");
+        decision = router.resolve_canary();
+        if decision != CanaryDecision::Pending {
+            break;
+        }
+    }
+    assert_eq!(decision, CanaryDecision::RolledBack, "the regression must roll back");
+    assert_eq!(
+        reg.current().iteration,
+        1,
+        "rollback must leave the old model serving"
+    );
+    assert_eq!(
+        reg.consecutive_failures(),
+        1,
+        "the rollout failure must charge the breaker streak"
+    );
+    // The fleet keeps answering with the old model after the rollback.
+    let r = router.infer(probe(900)).expect("fleet must keep serving");
+    assert_eq!(r.model_iteration, 1);
+    let (_, report) = router.shutdown_with_report();
+    assert!(report.canary_rolled_back);
+    assert!(!report.canary_promoted);
+}
+
+/// Threaded autoscaler: a burst forces scale-up ticks, a quiet spell
+/// shrinks back; the live count stays within the configured band
+/// throughout and converges to `min_replicas` when idle.
+#[test]
+fn threaded_autoscaler_converges_within_band() {
+    let reg = registry(34, 1);
+    let template = ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        policy: BatchPolicy::dynamic(8, Duration::from_millis(1)),
+        ..Default::default()
+    };
+    let mut cfg = FleetConfig::new(1, template, DispatchPolicy::LeastLoaded);
+    cfg.seed = SEED;
+    cfg.autoscaler = AutoscalerConfig {
+        min_replicas: 1,
+        max_replicas: 3,
+        target_util: 0.7,
+        slo_p99_secs: 10.0,
+        scale_down_backlog: 4,
+        // Tiny sustainable rate: any real burst demands the max size.
+        replica_rate: 1.0,
+    };
+    let router = scidl_serve::Router::start(reg, cfg);
+
+    // Burst ticks: each sees a high observed rate and grows by one.
+    for tick in 0..3 {
+        for i in 0..20u64 {
+            router.infer(probe(1000 + tick * 32 + i)).expect("infer must succeed");
+        }
+        let live = router.autoscale_tick();
+        assert!(
+            (1..=3).contains(&live),
+            "live replicas {live} left the [1, 3] band during the burst"
+        );
+    }
+    assert_eq!(router.live_replicas(), 3, "the burst must reach the band's ceiling");
+
+    // Quiet ticks: zero observed rate shrinks one step at a time back
+    // to the floor, never below it.
+    for _ in 0..5 {
+        let live = router.autoscale_tick();
+        assert!((1..=3).contains(&live), "scale-down must stay within the band");
+    }
+    assert_eq!(router.live_replicas(), 1, "idle fleet must converge to min_replicas");
+
+    let (_, report) = router.shutdown_with_report();
+    assert!(report.scale_ups >= 2, "burst must scale up: {report:?}");
+    assert!(report.scale_downs >= 2, "quiet spell must scale down: {report:?}");
+    assert_eq!(report.final_replicas, 1);
+}
+
+/// Virtual-time mirror of the rollback + autoscaler semantics, with the
+/// canary and autoscaler active in the same seeded run — and the whole
+/// composite still replays bit-identically.
+#[test]
+fn fleet_sim_canary_rollback_and_autoscaler_band_replay_deterministically() {
+    let model = ServiceModel::hep();
+    let base = SimConfig::new(2, 128, BatchPolicy::dynamic(8, Duration::from_millis(5)));
+    let per_rep = 2.0 * model.saturated_rate(8);
+    let arrivals: Vec<f64> = PoissonArrivals::new(SEED, 2.5 * per_rep, 1200).collect();
+    let end = *arrivals.last().unwrap();
+
+    let mut cfg = FleetSimConfig::new(1, base, DispatchPolicy::PowerOfTwoChoices);
+    cfg.seed = SEED;
+    cfg.base.breaker_threshold = 1;
+    cfg.autoscaler = Some(SimAutoscaler {
+        min_replicas: 1,
+        max_replicas: 4,
+        tick_secs: 0.1,
+        startup_secs: 0.02,
+        ..SimAutoscaler::default()
+    });
+    cfg.canary = Some(SimCanary {
+        start_secs: end * 0.2,
+        decide_secs: end * 0.8,
+        fraction: 0.25,
+        service_factor: 8.0, // the injected SLO regression
+        regression_tol: 0.25,
+        candidate_iteration: 777,
+    });
+
+    let out = simulate_fleet(&model, &arrivals, &cfg);
+    assert!(out.canary_rolled_back, "the 8x-slower candidate must roll back");
+    assert!(!out.canary_promoted);
+    assert_eq!(out.final_iteration, 0, "the old model must still be serving");
+    assert!(out.breaker_opened, "threshold 1: the rollout failure opens the breaker");
+    assert!(out.scale_ups >= 1, "the overload must grow the fleet");
+    let a = cfg.autoscaler.unwrap();
+    assert!(
+        (a.min_replicas..=a.max_replicas).contains(&out.final_replicas),
+        "final replica count {} outside the [{}, {}] band",
+        out.final_replicas,
+        a.min_replicas,
+        a.max_replicas
+    );
+
+    let again = simulate_fleet(&model, &arrivals, &cfg);
+    assert_eq!(out.served_ids, again.served_ids, "composite run must replay bit-identically");
+    assert_eq!(out.makespan.to_bits(), again.makespan.to_bits());
+    assert_eq!(out.p99().to_bits(), again.p99().to_bits());
+    assert_eq!(out.canary_served, again.canary_served);
+    assert_eq!(out.scale_ups, again.scale_ups);
+    assert_eq!(out.scale_downs, again.scale_downs);
+}
